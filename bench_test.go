@@ -1,0 +1,414 @@
+// Benchmark harness: one target per table/figure of the paper's evaluation
+// plus the DESIGN.md §5 ablations and substrate micro-benchmarks.
+//
+// The figure benches regenerate each panel at reduced effort (short
+// measurement windows, thinned sweeps) so `go test -bench=.` stays in CI
+// time while preserving the shape of every result; the cmd/charisma-
+// experiments binary runs the same panels at publication effort. Loss
+// rates, capacities and delays are exported through b.ReportMetric so the
+// shapes are visible directly in the benchmark output.
+package charisma
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"charisma/internal/channel"
+	"charisma/internal/core"
+	"charisma/internal/experiments"
+	"charisma/internal/mac"
+	"charisma/internal/phy"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+)
+
+// benchRunConfig trims each sweep point to 2 measured seconds.
+func benchRunConfig() experiments.RunConfig {
+	return experiments.RunConfig{Seed: 1, WarmupSec: 0.5, DurationSec: 2}
+}
+
+// benchPanel regenerates one Fig. 11/12/13 panel at bench effort and
+// reports a representative shape metric.
+func benchPanel(b *testing.B, spec experiments.PanelSpec) {
+	b.Helper()
+	rc := benchRunConfig()
+	for i := 0; i < b.N; i++ {
+		panel, err := experiments.RunPanel(spec, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if spec.Figure == 11 {
+			caps := experiments.Capacity(panel, 0.01)
+			if c := caps[core.ProtoCharisma]; c == c { // skip NaN
+				b.ReportMetric(c, "charisma-capacity-users")
+			}
+		} else {
+			for _, s := range panel.Series {
+				if s.Label == core.ProtoCharisma && len(s.Y) > 0 {
+					b.ReportMetric(s.Y[len(s.Y)-1], "charisma-final-y")
+				}
+			}
+		}
+	}
+}
+
+// --- Table 1 -------------------------------------------------------------
+
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// --- Fig. 5 and Fig. 7 (model figures) ------------------------------------
+
+func BenchmarkFig5FadingTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := experiments.FadingTrace(1, 2.0)
+		if len(tr) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkFig7ABICMCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.ABICMCurves(181)
+		if len(pts) != 181 {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+// --- Fig. 11: voice packet loss panels (a)–(f) -----------------------------
+
+func BenchmarkFig11a_VoiceLoss_NoQueue_Nd0(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig11a", Figure: 11, Fixed: 0, Queue: false})
+}
+
+func BenchmarkFig11b_VoiceLoss_Queue_Nd0(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig11b", Figure: 11, Fixed: 0, Queue: true})
+}
+
+func BenchmarkFig11c_VoiceLoss_NoQueue_Nd10(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig11c", Figure: 11, Fixed: 10, Queue: false})
+}
+
+func BenchmarkFig11d_VoiceLoss_Queue_Nd10(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig11d", Figure: 11, Fixed: 10, Queue: true})
+}
+
+func BenchmarkFig11e_VoiceLoss_NoQueue_Nd20(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig11e", Figure: 11, Fixed: 20, Queue: false})
+}
+
+func BenchmarkFig11f_VoiceLoss_Queue_Nd20(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig11f", Figure: 11, Fixed: 20, Queue: true})
+}
+
+// --- Fig. 12: data throughput panels (a)–(f) -------------------------------
+
+func BenchmarkFig12a_DataThroughput_NoQueue_Nv0(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig12a", Figure: 12, Fixed: 0, Queue: false})
+}
+
+func BenchmarkFig12b_DataThroughput_Queue_Nv0(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig12b", Figure: 12, Fixed: 0, Queue: true})
+}
+
+func BenchmarkFig12c_DataThroughput_NoQueue_Nv10(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig12c", Figure: 12, Fixed: 10, Queue: false})
+}
+
+func BenchmarkFig12d_DataThroughput_Queue_Nv10(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig12d", Figure: 12, Fixed: 10, Queue: true})
+}
+
+func BenchmarkFig12e_DataThroughput_NoQueue_Nv20(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig12e", Figure: 12, Fixed: 20, Queue: false})
+}
+
+func BenchmarkFig12f_DataThroughput_Queue_Nv20(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig12f", Figure: 12, Fixed: 20, Queue: true})
+}
+
+// --- Fig. 13: data delay panels (a)–(f) ------------------------------------
+
+func BenchmarkFig13a_DataDelay_NoQueue_Nv0(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig13a", Figure: 13, Fixed: 0, Queue: false})
+}
+
+func BenchmarkFig13b_DataDelay_Queue_Nv0(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig13b", Figure: 13, Fixed: 0, Queue: true})
+}
+
+func BenchmarkFig13c_DataDelay_NoQueue_Nv10(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig13c", Figure: 13, Fixed: 10, Queue: false})
+}
+
+func BenchmarkFig13d_DataDelay_Queue_Nv10(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig13d", Figure: 13, Fixed: 10, Queue: true})
+}
+
+func BenchmarkFig13e_DataDelay_NoQueue_Nv20(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig13e", Figure: 13, Fixed: 20, Queue: false})
+}
+
+func BenchmarkFig13f_DataDelay_Queue_Nv20(b *testing.B) {
+	benchPanel(b, experiments.PanelSpec{ID: "fig13f", Figure: 13, Fixed: 20, Queue: true})
+}
+
+// --- §5.3.3: mobile speed sensitivity --------------------------------------
+
+func BenchmarkSpeedSweep(b *testing.B) {
+	rc := benchRunConfig()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.SpeedSweep(60, []float64{10, 50, 80}, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*pts[len(pts)-1].VoiceLoss, "loss-at-80kmh-%")
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------------
+
+func ablationCell(mutate func(*core.Scenario)) (float64, error) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice = 90
+	sc.WarmupSec = 0.5
+	sc.DurationSec = 2
+	if mutate != nil {
+		mutate(&sc)
+	}
+	r, err := sc.Run()
+	return r.VoiceLossRate, err
+}
+
+// BenchmarkAblationPriorityWeights isolates the CSI term of eq. (2):
+// alpha=0 degrades CHARISMA to channel-blind urgency scheduling.
+func BenchmarkAblationPriorityWeights(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, err := ablationCell(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		blind, err := ablationCell(func(sc *core.Scenario) { sc.MAC.Charisma.Alpha = 0 })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*with, "loss-csi-%")
+		b.ReportMetric(100*blind, "loss-blind-%")
+	}
+}
+
+// BenchmarkAblationCSIRefresh disables the §4.4 polling subframe.
+func BenchmarkAblationCSIRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, err := ablationCell(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := ablationCell(func(sc *core.Scenario) { sc.MAC.Charisma.DisableCSIRefresh = true })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*with, "loss-polling-%")
+		b.ReportMetric(100*without, "loss-nopolling-%")
+	}
+}
+
+// BenchmarkAblationRequestSlots sweeps the contention opportunity count —
+// the design axis that explains RMAV's instability.
+func BenchmarkAblationRequestSlots(b *testing.B) {
+	for _, nr := range []int{2, 5, 8} {
+		nr := nr
+		b.Run(fmt.Sprintf("Nr=%d", nr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loss, err := ablationCell(func(sc *core.Scenario) {
+					// Keep the frame budget: request + pilot minislots
+					// together stay at 10.
+					sc.MAC.Geometry.CharismaRequestSlots = nr
+					sc.MAC.Geometry.CharismaPilotSlots = 10 - nr
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*loss, "loss-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVoiceOffset removes the static voice priority offset V.
+func BenchmarkAblationVoiceOffset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, err := ablationCell(func(sc *core.Scenario) { sc.NumData = 20 })
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err := ablationCell(func(sc *core.Scenario) {
+			sc.NumData = 20
+			sc.MAC.Charisma.VoiceOffset = 0
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*with, "loss-offsetV-%")
+		b.ReportMetric(100*without, "loss-noOffset-%")
+	}
+}
+
+// BenchmarkAblationFairness compares eq. (2)'s absolute CSI ranking with
+// the §6 channel-capacity-fair variant (FairnessExponent=1).
+func BenchmarkAblationFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		absolute, err := ablationCell(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fair, err := ablationCell(func(sc *core.Scenario) {
+			sc.MAC.Charisma.FairnessExponent = 1
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*absolute, "loss-eq2-%")
+		b.ReportMetric(100*fair, "loss-fair-%")
+	}
+}
+
+// BenchmarkMultiCellHandoff quantifies the §6 handoff extension: long-term
+// CSI attachment vs static attachment at two near-capacity cells.
+func BenchmarkMultiCellHandoff(b *testing.B) {
+	run := func(disable bool) float64 {
+		r, err := RunMultiCell(MultiCellOptions{
+			VoiceUsers:     160,
+			ShadowSigmaDB:  8,
+			DisableHandoff: disable,
+			Seed:           1,
+			Warmup:         500 * time.Millisecond,
+			Duration:       3 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r.VoiceLossRate
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(100*run(false), "loss-handoff-%")
+		b.ReportMetric(100*run(true), "loss-static-%")
+	}
+}
+
+// BenchmarkAblationQueueCap varies the selection-diversity pool depth
+// (§5.3.2).
+func BenchmarkAblationQueueCap(b *testing.B) {
+	for _, cap := range []int{4, 32, 128} {
+		cap := cap
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				loss, err := ablationCell(func(sc *core.Scenario) {
+					sc.UseQueue = true
+					sc.MAC.QueueCap = cap
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*loss, "loss-%")
+			}
+		})
+	}
+}
+
+// --- substrate micro-benchmarks --------------------------------------------
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := sim.NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(sim.Time(j%97), func(*sim.Engine) {})
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkFadingAdvance(b *testing.B) {
+	f := channel.NewFading(channel.DefaultParams(), rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Advance(800)
+	}
+}
+
+func BenchmarkChannelBankFrame(b *testing.B) {
+	bank := channel.NewBank(100, channel.DefaultParams(), 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bank.Advance(800)
+	}
+}
+
+func BenchmarkModeSelection(b *testing.B) {
+	a := phy.NewAdaptive(phy.DefaultParams())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		amp := 0.01 + float64(i%100)*0.05
+		_ = a.ModeForAmplitude(amp)
+	}
+}
+
+func BenchmarkCharismaFrame(b *testing.B) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice, sc.NumData = 60, 10
+	sys, proto, err := sc.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto.Init(sys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
+}
+
+func BenchmarkSimulatedSecondAllProtocols(b *testing.B) {
+	for _, p := range core.Protocols() {
+		p := p
+		b.Run(p, func(b *testing.B) {
+			sc := core.DefaultScenario(p)
+			sc.NumVoice, sc.NumData = 50, 10
+			sys, proto, err := sc.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			proto.Init(sys)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				limit := sys.Now() + sim.Second
+				for sys.Now() < limit {
+					sys.BeginFrame()
+					sys.EndFrame(proto.RunFrame(sys))
+				}
+			}
+		})
+	}
+}
+
+// Guard: the bench file shares the package with the public API; keep the
+// compile-time references honest.
+var (
+	_ = Options{}
+	_ = mac.KindVoice
+	_ = time.Second
+)

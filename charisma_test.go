@@ -1,0 +1,253 @@
+package charisma
+
+import (
+	"testing"
+	"time"
+)
+
+func quickOpts(p Protocol) Options {
+	return Options{
+		Protocol:   p,
+		VoiceUsers: 10,
+		DataUsers:  2,
+		Seed:       1,
+		Warmup:     500 * time.Millisecond,
+		Duration:   3 * time.Second,
+	}
+}
+
+func TestAllProtocolsEnumerated(t *testing.T) {
+	ps := AllProtocols()
+	if len(ps) != 6 {
+		t.Fatalf("%d protocols, want 6", len(ps))
+	}
+	if ps[0] != ProtocolCHARISMA {
+		t.Fatalf("first protocol = %s, want charisma", ps[0])
+	}
+}
+
+func TestRunDefaultsToCharisma(t *testing.T) {
+	o := quickOpts("")
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "charisma" {
+		t.Fatalf("default protocol = %s", res.Protocol)
+	}
+}
+
+func TestRunProducesMetrics(t *testing.T) {
+	res, err := Run(quickOpts(ProtocolCHARISMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames <= 0 || res.VoiceGenerated == 0 || res.DataGenerated == 0 {
+		t.Fatalf("incomplete result: %+v", res)
+	}
+	if res.MeanDataDelay < 0 {
+		t.Fatal("negative delay")
+	}
+}
+
+func TestRunRejectsEmptyCell(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("empty cell accepted")
+	}
+}
+
+func TestRunRejectsUnknownProtocol(t *testing.T) {
+	o := quickOpts("aloha")
+	if _, err := Run(o); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	a, err := Run(quickOpts(ProtocolDRMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickOpts(ProtocolDRMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same options produced different results")
+	}
+}
+
+func TestCompareDefaultsToAllSix(t *testing.T) {
+	res, err := Compare(quickOpts(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("%d results, want 6", len(res))
+	}
+	seen := map[string]bool{}
+	for _, r := range res {
+		seen[r.Protocol] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("duplicate protocols in comparison: %v", seen)
+	}
+}
+
+func TestCompareSubset(t *testing.T) {
+	res, err := Compare(quickOpts(""), ProtocolRAMA, ProtocolRMAV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Protocol != "rama" || res[1].Protocol != "rmav" {
+		t.Fatalf("subset comparison wrong: %+v", res)
+	}
+}
+
+func TestCompareSharesTraffic(t *testing.T) {
+	res, err := Compare(quickOpts(""), ProtocolCHARISMA, ProtocolDTDMAFR, ProtocolDRMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].VoiceGenerated != res[0].VoiceGenerated {
+			t.Fatal("protocols saw different traffic (CRN broken)")
+		}
+	}
+}
+
+func TestCustomizeHook(t *testing.T) {
+	o := quickOpts(ProtocolCHARISMA)
+	called := false
+	o.Customize = func(sc *Scenario) {
+		called = true
+		sc.MAC.Charisma.Alpha = 0.5
+	}
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Fatal("Customize hook not invoked")
+	}
+}
+
+func TestOptionOverridesApplied(t *testing.T) {
+	o := quickOpts(ProtocolCHARISMA)
+	o.SpeedKmh = 80
+	o.MeanSNRdB = 15
+	o.WithRequestQueue = true
+	var captured Scenario
+	o.Customize = func(sc *Scenario) { captured = *sc }
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if captured.Channel.SpeedKmh != 80 {
+		t.Fatalf("speed = %v", captured.Channel.SpeedKmh)
+	}
+	if captured.PHY.MeanSNRdB != 15 {
+		t.Fatalf("SNR = %v", captured.PHY.MeanSNRdB)
+	}
+	if !captured.UseQueue {
+		t.Fatal("queue flag not propagated")
+	}
+}
+
+func TestFrameDuration(t *testing.T) {
+	if FrameDuration() != 2500*time.Microsecond {
+		t.Fatalf("frame duration = %v, want 2.5ms", FrameDuration())
+	}
+}
+
+func TestFadingTracePublicAPI(t *testing.T) {
+	tr := FadingTrace(1, time.Second, 50)
+	if len(tr) != 400 {
+		t.Fatalf("%d samples for 1 s at 2.5 ms, want 400", len(tr))
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].At <= tr[i-1].At {
+			t.Fatal("trace time not increasing")
+		}
+	}
+	// Determinism.
+	tr2 := FadingTrace(1, time.Second, 50)
+	if tr[100] != tr2[100] {
+		t.Fatal("trace not deterministic")
+	}
+}
+
+func TestPHYCurvesPublicAPI(t *testing.T) {
+	pts := PHYCurves(100)
+	if len(pts) != 100 {
+		t.Fatalf("%d points", len(pts))
+	}
+	prevEta := -1.0
+	for _, p := range pts {
+		if p.Throughput < prevEta {
+			t.Fatal("throughput staircase not monotone")
+		}
+		prevEta = p.Throughput
+		if p.BER < 0 || p.BER > 0.5 {
+			t.Fatalf("BER %v out of range", p.BER)
+		}
+	}
+	if pts[0].Throughput != 0 || !pts[0].Outage {
+		t.Fatal("lowest CSI should be in outage")
+	}
+	if pts[len(pts)-1].Throughput != 5 {
+		t.Fatal("highest CSI should reach η=5")
+	}
+	if PHYCurves(1) == nil {
+		t.Fatal("degenerate n not handled")
+	}
+}
+
+func TestRunMultiCellPublicAPI(t *testing.T) {
+	r, err := RunMultiCell(MultiCellOptions{
+		VoiceUsers: 30,
+		Seed:       1,
+		Warmup:     500 * time.Millisecond,
+		Duration:   3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VoiceGenerated == 0 {
+		t.Fatal("no traffic")
+	}
+	if len(r.PerCellLossRates) != 2 {
+		t.Fatalf("%d cells, want 2 by default", len(r.PerCellLossRates))
+	}
+}
+
+func TestRunMultiCellRejectsRMAV(t *testing.T) {
+	_, err := RunMultiCell(MultiCellOptions{Protocol: ProtocolRMAV, VoiceUsers: 5})
+	if err == nil {
+		t.Fatal("RMAV multicell accepted")
+	}
+}
+
+func TestRunMultiCellHandoffPeriodMapping(t *testing.T) {
+	// A sub-frame handoff period must clamp to one frame, not zero.
+	r, err := RunMultiCell(MultiCellOptions{
+		VoiceUsers:    10,
+		HandoffPeriod: time.Millisecond,
+		Warmup:        200 * time.Millisecond,
+		Duration:      time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestFairnessExtensionRuns(t *testing.T) {
+	o := quickOpts(ProtocolCHARISMA)
+	o.Customize = func(sc *Scenario) { sc.MAC.Charisma.FairnessExponent = 1 }
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VoiceGenerated == 0 {
+		t.Fatal("no traffic under fairness extension")
+	}
+}

@@ -1,0 +1,112 @@
+// Command charisma-experiments regenerates the paper's evaluation artifacts
+// (Kwok & Lau, ICPP 2000 / TPDS 2002): every panel of Figs. 11–13, the
+// Fig. 5 fading trace, the Fig. 7 ABICM curves, Table 1, and the §5.3.3
+// speed study.
+//
+// Usage:
+//
+//	charisma-experiments -exp fig11a          # one panel
+//	charisma-experiments -exp fig11           # all six panels of Fig. 11
+//	charisma-experiments -exp all -quick      # everything, smoke effort
+//	charisma-experiments -exp table1
+//	charisma-experiments -exp fig5
+//	charisma-experiments -exp fig7
+//	charisma-experiments -exp speed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"charisma/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, table1, fig5, fig7, speed, fig11, fig12, fig13, or a panel id like fig11a")
+		quick    = flag.Bool("quick", false, "smoke-test effort (5 s per point instead of 30 s)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		duration = flag.Float64("duration", 0, "override measured seconds per sweep point")
+	)
+	flag.Parse()
+
+	rc := experiments.DefaultRunConfig()
+	if *quick {
+		rc = experiments.QuickRunConfig()
+	}
+	rc.Seed = *seed
+	if *duration > 0 {
+		rc.DurationSec = *duration
+	}
+
+	if err := run(strings.ToLower(*exp), rc); err != nil {
+		fmt.Fprintln(os.Stderr, "charisma-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, rc experiments.RunConfig) error {
+	out := os.Stdout
+	static := func(which string) bool {
+		switch which {
+		case "table1":
+			experiments.RenderTable1(out, experiments.Table1())
+		case "fig5":
+			experiments.RenderTrace(out, experiments.FadingTrace(rc.Seed, 2.0), 8)
+		case "fig7", "fig7a", "fig7b":
+			experiments.RenderABICM(out, experiments.ABICMCurves(181), 6)
+		default:
+			return false
+		}
+		return true
+	}
+	if static(exp) {
+		return nil
+	}
+
+	if exp == "speed" {
+		pts, err := experiments.SpeedSweep(60, nil, rc)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSpeed(out, pts)
+		return nil
+	}
+
+	var ran bool
+	for _, spec := range experiments.PanelSpecs() {
+		match := exp == "all" ||
+			exp == spec.ID ||
+			exp == fmt.Sprintf("fig%d", spec.Figure)
+		if !match {
+			continue
+		}
+		ran = true
+		fmt.Fprintf(out, "running %s ...\n", spec.ID)
+		panel, err := experiments.RunPanel(spec, rc)
+		if err != nil {
+			return err
+		}
+		experiments.RenderPanel(out, panel)
+		if spec.Figure == 11 {
+			experiments.RenderCapacity(out, panel, 0.01)
+		}
+	}
+	if exp == "all" {
+		static("table1")
+		static("fig5")
+		static("fig7")
+		pts, err := experiments.SpeedSweep(60, nil, rc)
+		if err != nil {
+			return err
+		}
+		experiments.RenderSpeed(out, pts)
+		return nil
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Command fading-trace dumps raw channel and PHY model data for plotting:
+// the Fig. 5 fading sample as CSV, or the Fig. 7 ABICM curves as CSV.
+//
+// Usage:
+//
+//	fading-trace -what fading -seconds 2 -speed 50 > fading.csv
+//	fading-trace -what abicm > abicm.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charisma/internal/channel"
+	"charisma/internal/experiments"
+	"charisma/internal/sim"
+)
+
+func main() {
+	var (
+		what    = flag.String("what", "fading", "fading (Fig. 5) or abicm (Fig. 7)")
+		seconds = flag.Float64("seconds", 2, "trace length in simulated seconds")
+		speed   = flag.Float64("speed", 50, "mobile speed in km/h")
+		seed    = flag.Int64("seed", 1, "random seed")
+		stepMs  = flag.Float64("step", 2.5, "sample period in ms (default: one frame)")
+	)
+	flag.Parse()
+
+	switch *what {
+	case "fading":
+		p := channel.DefaultParams()
+		p.SpeedKmh = *speed
+		dt := sim.FromMilliseconds(*stepMs)
+		n := int(sim.FromSeconds(*seconds) / dt)
+		fmt.Println("t_ms,amp_db,shadow_db")
+		for _, pt := range channel.Trace(p, *seed, dt, n) {
+			fmt.Printf("%.3f,%.3f,%.3f\n", pt.T.Milliseconds(), pt.AmpDB, pt.ShadowDB)
+		}
+	case "abicm":
+		fmt.Println("csi_amp,snr_db,mode,eta,ber,fixed_ber,outage")
+		for _, pt := range experiments.ABICMCurves(361) {
+			fmt.Printf("%.5f,%.2f,%d,%.1f,%.4e,%.4e,%v\n",
+				pt.CSIAmp, pt.SNRdB, pt.Mode, pt.Eta, pt.BER, pt.FixedBER, pt.InOutage)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "fading-trace: unknown -what %q\n", *what)
+		os.Exit(1)
+	}
+}

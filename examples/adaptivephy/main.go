@@ -1,0 +1,58 @@
+// Adaptivephy demonstrates the substrate beneath the MAC comparison: the
+// burst-error radio channel (paper Fig. 5) and the 6-mode ABICM adaptive
+// physical layer (paper Fig. 7), through the library's public model API.
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"charisma"
+)
+
+func main() {
+	// --- Fig. 5: fading trace -------------------------------------------
+	fmt.Println("Fig. 5 — one second of combined fading at 50 km/h (sampled per frame)")
+	trace := charisma.FadingTrace(1, time.Second, 50)
+	const cols = 72
+	// Render an ASCII strip chart: rows are dB levels, columns time.
+	levels := []float64{10, 5, 0, -5, -10, -15, -20}
+	step := len(trace) / cols
+	if step < 1 {
+		step = 1
+	}
+	for _, lv := range levels {
+		row := make([]byte, 0, cols)
+		for c := 0; c < cols && c*step < len(trace); c++ {
+			amp := trace[c*step].AmplitudeDB
+			shadow := trace[c*step].ShadowDB
+			switch {
+			case amp >= lv && amp < lv+5:
+				row = append(row, '*') // combined fading
+			case shadow >= lv && shadow < lv+5:
+				row = append(row, '-') // shadowing alone
+			default:
+				row = append(row, ' ')
+			}
+		}
+		fmt.Printf("%6.0f dB |%s\n", lv, row)
+	}
+	fmt.Println("          (* combined c(t) = fast fading x shadowing, - local mean)")
+
+	// --- Fig. 7: adaptive modem curves ----------------------------------
+	fmt.Println("\nFig. 7 — ABICM mode staircase and residual BER vs CSI")
+	fmt.Printf("%10s %8s %5s %11s %12s %12s\n", "CSI amp", "SNR dB", "mode", "throughput", "BER", "fixed BER")
+	pts := charisma.PHYCurves(121)
+	for i := 0; i < len(pts); i += 10 {
+		p := pts[i]
+		bar := strings.Repeat("#", int(p.Throughput*2))
+		fmt.Printf("%10.4f %8.1f %5d %11.1f %12.2e %12.2e  %s\n",
+			p.CSIAmplitude, p.SNRdB, p.Mode, p.Throughput, p.BER, p.FixedBER, bar)
+	}
+
+	fmt.Println("\nReading the table: as CSI improves the modem climbs through the six")
+	fmt.Println("modes (η = 1/2 … 5 bits/symbol) while holding the target BER — the")
+	fmt.Println("variable throughput CHARISMA's scheduler exploits. Below the lowest")
+	fmt.Println("threshold the link is in outage: exactly the users CHARISMA defers.")
+}

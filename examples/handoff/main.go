@@ -1,0 +1,57 @@
+// Handoff demonstrates the paper's §6 future-work extension: a two-cell
+// nomadic computing deployment in which users attach to the base station
+// with the best long-term channel, with hysteresis. It contrasts the
+// channel-quality handoff rule against static attachment at a load where
+// deep-shadowed users matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"charisma"
+)
+
+func run(disable bool) charisma.MultiCellResult {
+	r, err := charisma.RunMultiCell(charisma.MultiCellOptions{
+		Cells:          2,
+		Protocol:       charisma.ProtocolCHARISMA,
+		VoiceUsers:     160, // ~80 per cell: near single-cell capacity
+		ShadowSigmaDB:  8,   // deep shadowing: attachment choice matters
+		DisableHandoff: disable,
+		Seed:           1,
+		Duration:       12 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	fmt.Println("Two CHARISMA cells, 160 voice users, 8 dB shadowing, 12 s measured")
+	fmt.Println()
+
+	static := run(true)
+	fmt.Printf("static attachment   : Ploss %.3f%%  (per cell: %.3f%% / %.3f%%)\n",
+		100*static.VoiceLossRate,
+		100*static.PerCellLossRates[0], 100*static.PerCellLossRates[1])
+
+	handoff := run(false)
+	fmt.Printf("channel-quality HO  : Ploss %.3f%%  (per cell: %.3f%% / %.3f%%), %d handoffs\n",
+		100*handoff.VoiceLossRate,
+		100*handoff.PerCellLossRates[0], 100*handoff.PerCellLossRates[1],
+		handoff.Handoffs)
+
+	if handoff.VoiceLossRate < static.VoiceLossRate {
+		fmt.Printf("\n→ attaching by channel quality cuts voice loss %.1fx:\n",
+			static.VoiceLossRate/handoff.VoiceLossRate)
+		fmt.Println("  users trapped in deep shadow toward their static cell would burn")
+		fmt.Println("  robust low-rate modes (or drop packets outright); switching to the")
+		fmt.Println("  stronger base station keeps them in the high-throughput modes that")
+		fmt.Println("  CHARISMA's scheduler feeds on — the paper's §6 conjecture, verified.")
+	} else {
+		fmt.Println("\n→ at this operating point handoff churn outweighed its gain.")
+	}
+}

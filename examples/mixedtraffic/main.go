@@ -1,0 +1,55 @@
+// Mixedtraffic walks through the paper's integrated-services scenario
+// (§5.2, Figs. 12–13): a cell carrying both delay-bound voice and bursty
+// file data. It compares all six protocols on one loaded cell and then
+// shows how the base-station request queue changes the picture.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"charisma"
+)
+
+func report(title string, opts charisma.Options) {
+	results, err := charisma.Compare(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s\n", title)
+	fmt.Printf("%-11s %10s %12s %12s %10s\n", "protocol", "Ploss", "γ(pkt/frm)", "Dd", "util")
+	for _, r := range results {
+		fmt.Printf("%-11s %9.3f%% %12.2f %12v %9.1f%%\n",
+			r.Protocol, 100*r.VoiceLossRate, r.DataThroughputPerFrame,
+			r.MeanDataDelay.Round(time.Millisecond), 100*r.InfoUtilization)
+	}
+}
+
+func main() {
+	base := charisma.Options{
+		VoiceUsers: 10,
+		DataUsers:  20,
+		Seed:       1,
+		Duration:   10 * time.Second,
+	}
+
+	fmt.Println("Integrated voice + data cell: Nv=10 voice users, Nd=20 data users")
+	fmt.Println("(each data user offers ~100 packets/s in 100-packet bursts)")
+
+	report("--- without base-station request queue ---", base)
+
+	withQueue := base
+	withQueue.WithRequestQueue = true
+	report("--- with base-station request queue (§4.5) ---", withQueue)
+
+	fmt.Println("\nWhat to look for (paper §5.2):")
+	fmt.Println(" * CHARISMA posts the highest data throughput and the lowest delay —")
+	fmt.Println("   its scheduler packs frames with good-channel users and defers the")
+	fmt.Println("   deep-faded ones until their channels recover.")
+	fmt.Println(" * D-TDMA/VR rides the same adaptive PHY but schedules channel-blind,")
+	fmt.Println("   paying in delay; D-TDMA/FR serializes one packet per grant and")
+	fmt.Println("   suffers order-of-magnitude worse delay.")
+	fmt.Println(" * RMAV collapses: one contention slot per frame cannot carry this")
+	fmt.Println("   population, and voice starves while data grants stretch frames.")
+}

@@ -1,0 +1,52 @@
+// Speedsweep reproduces the paper's §5.3.3 mobility study: CHARISMA's
+// CSI-dependent scheduling keeps working as the mobile speed — and with it
+// the Doppler spread and the CSI staleness — grows from pedestrian-slow to
+// 80 km/h, degrading only mildly thanks to the CSI-refresh (polling)
+// mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"charisma"
+)
+
+func main() {
+	speeds := []float64{10, 20, 30, 40, 50, 60, 70, 80}
+	const nv = 60
+
+	fmt.Printf("CHARISMA voice loss vs mobile speed (Nv=%d, no queue)\n\n", nv)
+	fmt.Printf("%12s %12s %14s\n", "speed (km/h)", "Ploss", "vs 50 km/h")
+
+	var at50 float64
+	losses := make([]float64, len(speeds))
+	for i, v := range speeds {
+		res, err := charisma.Run(charisma.Options{
+			Protocol:   charisma.ProtocolCHARISMA,
+			VoiceUsers: nv,
+			Seed:       1,
+			Duration:   10 * time.Second,
+			SpeedKmh:   v,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		losses[i] = res.VoiceLossRate
+		if v == 50 {
+			at50 = res.VoiceLossRate
+		}
+	}
+	for i, v := range speeds {
+		rel := "-"
+		if at50 > 0 {
+			rel = fmt.Sprintf("%+.1f%%", 100*(losses[i]-at50)/at50)
+		}
+		fmt.Printf("%12g %11.4f%% %14s\n", v, 100*losses[i], rel)
+	}
+
+	fmt.Println("\nPaper §5.3.3: performance is essentially unchanged from 10–50 km/h;")
+	fmt.Println("even at 80 km/h the degradation stays small because most stale-CSI")
+	fmt.Println("cases are caught by the CSI refresh mechanism before allocation.")
+}

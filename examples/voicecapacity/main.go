@@ -1,0 +1,65 @@
+// Voicecapacity reproduces the headline result of the paper's §5.1 in
+// miniature: sweep the voice population for all six protocols and report
+// how many users each supports at the 1% packet-loss QoS threshold
+// (Fig. 11a style, no request queue, Nd = 0).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"charisma"
+)
+
+func main() {
+	sweep := []int{20, 40, 60, 80, 100, 120, 140}
+	protocols := charisma.AllProtocols()
+
+	fmt.Println("voice capacity at the 1% loss threshold (no request queue, Nd=0)")
+	fmt.Printf("%-8s", "Nv")
+	for _, p := range protocols {
+		fmt.Printf(" %11s", p)
+	}
+	fmt.Println()
+
+	// loss[p] holds the Ploss series for protocol p across the sweep.
+	loss := make(map[charisma.Protocol][]float64, len(protocols))
+	for _, nv := range sweep {
+		results, err := charisma.Compare(charisma.Options{
+			VoiceUsers: nv,
+			Seed:       1,
+			Duration:   8 * time.Second,
+		}, protocols...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d", nv)
+		for i, p := range protocols {
+			loss[p] = append(loss[p], results[i].VoiceLossRate)
+			fmt.Printf(" %10.3f%%", 100*results[i].VoiceLossRate)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ninterpolated capacity at 1%:")
+	for _, p := range protocols {
+		fmt.Printf("  %-11s ≈ %s voice users\n", p, capacity(sweep, loss[p], 0.01))
+	}
+	fmt.Println("\npaper shape check: CHARISMA first, D-TDMA/VR and DRMA next,")
+	fmt.Println("RAMA and D-TDMA/FR around 60, RMAV unstable early.")
+}
+
+// capacity interpolates the first upward crossing of the threshold.
+func capacity(xs []int, ys []float64, threshold float64) string {
+	for i := 1; i < len(xs); i++ {
+		if ys[i-1] <= threshold && ys[i] > threshold {
+			t := (threshold - ys[i-1]) / (ys[i] - ys[i-1])
+			return fmt.Sprintf("%.0f", float64(xs[i-1])+t*float64(xs[i]-xs[i-1]))
+		}
+	}
+	if len(ys) > 0 && ys[0] > threshold {
+		return fmt.Sprintf("< %d", xs[0])
+	}
+	return fmt.Sprintf("> %d", xs[len(xs)-1])
+}

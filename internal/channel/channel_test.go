@@ -1,0 +1,313 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+)
+
+const frameDur = 800 * sim.Time(1)
+
+func newTestFading(seed int64) *Fading {
+	return NewFading(DefaultParams(), rng.Derive(seed, "test"))
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Doppler(); got != 100 {
+		t.Fatalf("Doppler at 50 km/h = %v, want 100 Hz (Table 1)", got)
+	}
+	// Effective coherence: kappa/fd = 5/100 = 50 ms.
+	if got := p.CoherenceTime(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("coherence = %v, want 0.05 s", got)
+	}
+}
+
+func TestDopplerScalesWithSpeed(t *testing.T) {
+	p := DefaultParams()
+	p.SpeedKmh = 80
+	if got := p.Doppler(); math.Abs(got-160) > 1e-9 {
+		t.Fatalf("Doppler at 80 km/h = %v, want 160 Hz", got)
+	}
+	p.DopplerHz = 42
+	if got := p.Doppler(); got != 42 {
+		t.Fatalf("explicit Doppler override = %v", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	p := DefaultParams()
+	p.SpeedKmh = -1
+	if p.Validate() == nil {
+		t.Fatal("negative speed accepted")
+	}
+	p = DefaultParams()
+	p.ShadowSigmaDB = -1
+	if p.Validate() == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	p = DefaultParams()
+	p.ShadowCoherenceSec = 0
+	if p.Validate() == nil {
+		t.Fatal("zero shadow coherence accepted")
+	}
+}
+
+func TestShortTermRayleighStationarity(t *testing.T) {
+	f := newTestFading(1)
+	const n = 100000
+	sumSq := 0.0
+	for i := 0; i < n; i++ {
+		f.Advance(frameDur)
+		c := f.ShortTerm()
+		sumSq += c * c
+	}
+	if p := sumSq / n; math.Abs(p-1) > 0.05 {
+		t.Fatalf("E[c_s^2] = %v, want 1 (paper normalization)", p)
+	}
+}
+
+func TestLongTermLogNormalStationarity(t *testing.T) {
+	p := DefaultParams()
+	f := NewFading(p, rng.Derive(2, "test"))
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		f.Advance(frameDur)
+		db := f.LongTermDB()
+		sum += db
+		sumSq += db * db
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-p.ShadowMeanDB) > 0.5 {
+		t.Fatalf("shadow mean = %v dB, want %v", mean, p.ShadowMeanDB)
+	}
+	if math.Abs(std-p.ShadowSigmaDB) > 0.5 {
+		t.Fatalf("shadow std = %v dB, want %v", std, p.ShadowSigmaDB)
+	}
+}
+
+func TestAmplitudeAlwaysPositive(t *testing.T) {
+	prop := func(seed int64) bool {
+		f := newTestFading(seed)
+		for i := 0; i < 200; i++ {
+			f.Advance(frameDur)
+			if f.Amplitude() < 0 || f.ShortTerm() < 0 || f.LongTerm() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainIsAmplitudeSquared(t *testing.T) {
+	f := newTestFading(3)
+	f.Advance(frameDur)
+	a := f.Amplitude()
+	if math.Abs(f.Gain()-a*a) > 1e-12 {
+		t.Fatal("Gain != Amplitude^2")
+	}
+}
+
+func TestShortTermCorrelationDecay(t *testing.T) {
+	// Empirical lag-k autocorrelation of the complex envelope should track
+	// exp(-k*frame/Tc).
+	f := newTestFading(4)
+	const n = 200000
+	re := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f.Advance(frameDur)
+		re[i] = f.gRe
+	}
+	corr := func(lag int) float64 {
+		sum := 0.0
+		for i := 0; i+lag < n; i++ {
+			sum += re[i] * re[i+lag]
+		}
+		return sum / float64(n-lag) / 0.5 // component variance is 1/2
+	}
+	tc := DefaultParams().CoherenceTime()
+	for _, lag := range []int{1, 4, 8} {
+		want := math.Exp(-float64(lag) * frameDur.Seconds() / tc)
+		got := corr(lag)
+		if math.Abs(got-want) > 0.05 {
+			t.Fatalf("lag-%d corr = %v, want %v", lag, got, want)
+		}
+	}
+}
+
+func TestFasterSpeedDecorrelatesFaster(t *testing.T) {
+	slow, fast := DefaultParams(), DefaultParams()
+	slow.SpeedKmh, fast.SpeedKmh = 10, 80
+	if slow.CoherenceTime() <= fast.CoherenceTime() {
+		t.Fatal("higher speed should shorten coherence time")
+	}
+}
+
+func TestAdvanceDeterminism(t *testing.T) {
+	a, b := newTestFading(5), newTestFading(5)
+	for i := 0; i < 500; i++ {
+		a.Advance(frameDur)
+		b.Advance(frameDur)
+		if a.Amplitude() != b.Amplitude() {
+			t.Fatal("same-seed fading paths diverged")
+		}
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	f := newTestFading(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative step did not panic")
+		}
+	}()
+	f.Advance(-1)
+}
+
+func TestMeasureEstimateDoesNotPerturbChannel(t *testing.T) {
+	a, b := newTestFading(7), newTestFading(7)
+	obs := rng.Derive(99, "observer")
+	for i := 0; i < 100; i++ {
+		a.Advance(frameDur)
+		b.Advance(frameDur)
+		// Only a is measured — b must stay on the identical path.
+		a.MeasureEstimate(0.05, obs, sim.Time(i))
+	}
+	if a.Amplitude() != b.Amplitude() {
+		t.Fatal("measurement perturbed the fading path (breaks common random numbers)")
+	}
+}
+
+func TestMeasureEstimateNoise(t *testing.T) {
+	f := newTestFading(8)
+	f.Advance(frameDur)
+	obs := rng.Derive(1, "obs")
+	exact := f.MeasureEstimate(0, obs, 0)
+	if exact.Amp != f.Amplitude() {
+		t.Fatal("zero-noise estimate should be exact")
+	}
+	// Noisy estimates stay near the truth and never go negative.
+	for i := 0; i < 1000; i++ {
+		e := f.MeasureEstimate(0.05, obs, 0)
+		if e.Amp < 0 {
+			t.Fatal("negative amplitude estimate")
+		}
+		if math.Abs(e.Amp-f.Amplitude()) > f.Amplitude()*0.3 {
+			t.Fatalf("estimate %v too far from %v", e.Amp, f.Amplitude())
+		}
+	}
+}
+
+func TestMeasureEstimateDelayedUsesPreviousFrame(t *testing.T) {
+	f := newTestFading(10)
+	f.Advance(frameDur)
+	ampBefore := f.Amplitude()
+	f.Advance(frameDur)
+	obs := rng.Derive(2, "obs")
+	delayed := f.MeasureEstimateDelayed(0, obs, 0)
+	if delayed.Amp != ampBefore {
+		t.Fatalf("delayed estimate = %v, want previous amplitude %v", delayed.Amp, ampBefore)
+	}
+}
+
+func TestEstimateAge(t *testing.T) {
+	e := Estimate{Amp: 1, At: 100}
+	if e.Age(900) != 800 {
+		t.Fatalf("age = %v", e.Age(900))
+	}
+}
+
+func TestBankIndependence(t *testing.T) {
+	b := NewBank(2, DefaultParams(), 1)
+	const n = 20000
+	sumXY, sumX, sumY, sumX2, sumY2 := 0.0, 0.0, 0.0, 0.0, 0.0
+	for i := 0; i < n; i++ {
+		b.Advance(frameDur)
+		x, y := b.User(0).Amplitude(), b.User(1).Amplitude()
+		sumXY += x * y
+		sumX += x
+		sumY += y
+		sumX2 += x * x
+		sumY2 += y * y
+	}
+	mx, my := sumX/n, sumY/n
+	cov := sumXY/n - mx*my
+	sx := math.Sqrt(sumX2/n - mx*mx)
+	sy := math.Sqrt(sumY2/n - my*my)
+	// Samples are serially correlated, so allow a loose bound; true
+	// cross-user correlation is zero.
+	if r := cov / (sx * sy); math.Abs(r) > 0.15 {
+		t.Fatalf("cross-user correlation = %v, want ~0 (paper: independent fading)", r)
+	}
+}
+
+func TestBankUserCountAndSeeding(t *testing.T) {
+	b1 := NewBank(3, DefaultParams(), 42)
+	b2 := NewBank(5, DefaultParams(), 42)
+	if b1.Size() != 3 || b2.Size() != 5 {
+		t.Fatal("bank sizes wrong")
+	}
+	// User k's path must not depend on the bank size (CRN property).
+	b1.Advance(frameDur)
+	b2.Advance(frameDur)
+	for i := 0; i < 3; i++ {
+		if b1.User(i).Amplitude() != b2.User(i).Amplitude() {
+			t.Fatalf("user %d path depends on population size", i)
+		}
+	}
+}
+
+func TestBankWithSpeeds(t *testing.T) {
+	b := NewBankWithSpeeds([]float64{10, 80}, DefaultParams(), 7)
+	if b.Size() != 2 {
+		t.Fatal("size")
+	}
+	if b.User(0).Params().SpeedKmh != 10 || b.User(1).Params().SpeedKmh != 80 {
+		t.Fatal("per-user speeds not applied")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	tr := Trace(DefaultParams(), 1, frameDur, 200)
+	if len(tr) != 200 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	varied := false
+	for i := 1; i < len(tr); i++ {
+		if tr[i].T <= tr[i-1].T {
+			t.Fatal("trace time not increasing")
+		}
+		if tr[i].AmpDB != tr[i-1].AmpDB {
+			varied = true
+		}
+		// Fast fading rides on the shadow: combined dB should wander
+		// around the shadow level.
+		if math.IsNaN(tr[i].AmpDB) {
+			t.Fatal("NaN in trace")
+		}
+	}
+	if !varied {
+		t.Fatal("trace is constant")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a := Trace(DefaultParams(), 9, frameDur, 50)
+	b := Trace(DefaultParams(), 9, frameDur, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+}

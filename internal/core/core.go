@@ -1,0 +1,283 @@
+// Package core is the paper's "common simulation platform" (§5): it
+// assembles a cell — channel bank, physical layer, traffic sources, one of
+// the six access control protocols — from a declarative Scenario, drives
+// the TDMA frame cadence on the discrete-event engine, and harvests the
+// paper's metrics after a warm-up transient.
+//
+// All six protocols run against byte-identical channel and traffic sample
+// paths for a given seed (common random numbers): per-user streams are
+// derived from the scenario seed only, never from protocol identity.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"charisma/internal/channel"
+	"charisma/internal/mac"
+	charismaproto "charisma/internal/mac/charisma"
+	"charisma/internal/mac/drma"
+	"charisma/internal/mac/dtdma"
+	"charisma/internal/mac/rama"
+	"charisma/internal/mac/rmav"
+	"charisma/internal/phy"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+	"charisma/internal/traffic"
+)
+
+// Protocol names accepted by Scenario.Protocol.
+const (
+	ProtoCharisma = "charisma"
+	ProtoRAMA     = "rama"
+	ProtoRMAV     = "rmav"
+	ProtoDRMA     = "drma"
+	ProtoDTDMAFR  = "d-tdma/fr"
+	ProtoDTDMAVR  = "d-tdma/vr"
+)
+
+// Protocols lists all six implemented protocols in the paper's order of
+// presentation.
+func Protocols() []string {
+	return []string{ProtoCharisma, ProtoDTDMAVR, ProtoDTDMAFR, ProtoDRMA, ProtoRAMA, ProtoRMAV}
+}
+
+// NewProtocol instantiates a protocol by name.
+func NewProtocol(name string) (mac.Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case ProtoCharisma:
+		return charismaproto.New(), nil
+	case ProtoRAMA:
+		return rama.New(), nil
+	case ProtoRMAV:
+		return rmav.New(), nil
+	case ProtoDRMA:
+		return drma.New(), nil
+	case ProtoDTDMAFR, "dtdma/fr", "d-tdma-fr":
+		return dtdma.New(), nil
+	case ProtoDTDMAVR, "dtdma/vr", "d-tdma-vr":
+		return dtdma.NewVariable(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q", name)
+	}
+}
+
+// AdaptivePHYFor reports whether a protocol runs on the channel-adaptive
+// physical layer (only CHARISMA and D-TDMA/VR do; §3–§4).
+func AdaptivePHYFor(name string) bool {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case ProtoCharisma, ProtoDTDMAVR, "dtdma/vr", "d-tdma-vr":
+		return true
+	}
+	return false
+}
+
+// Scenario declares one simulation run.
+type Scenario struct {
+	// Protocol is one of the Proto* names.
+	Protocol string
+	// NumVoice and NumData are the voice-only and data-only user counts
+	// (the paper's Nv and Nd axes).
+	NumVoice int
+	NumData  int
+	// UseQueue enables the base-station request queue (§4.5).
+	UseQueue bool
+	// Seed determines every random stream of the run.
+	Seed int64
+	// WarmupSec is excluded from all metrics; DurationSec is the
+	// measurement window.
+	WarmupSec   float64
+	DurationSec float64
+
+	// Channel, PHY and MAC carry the substrate parameters; zero values
+	// are replaced by the calibrated defaults.
+	Channel channel.Params
+	PHY     phy.Params
+	MAC     mac.Config
+
+	// SpeedsKmh optionally assigns per-station speeds (the §5.3.3
+	// mobility experiment); when set it must cover NumVoice+NumData
+	// stations.
+	SpeedsKmh []float64
+}
+
+// DefaultScenario returns a ready-to-run scenario for the named protocol
+// with the calibrated Table 1 defaults: 60 s measured after 2 s warm-up.
+func DefaultScenario(protocol string) Scenario {
+	return Scenario{
+		Protocol:    protocol,
+		NumVoice:    50,
+		NumData:     0,
+		Seed:        1,
+		WarmupSec:   2,
+		DurationSec: 60,
+		Channel:     channel.DefaultParams(),
+		PHY:         phy.DefaultParams(),
+		MAC:         mac.DefaultConfig(),
+	}
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Channel == (channel.Params{}) {
+		sc.Channel = channel.DefaultParams()
+	}
+	if len(sc.PHY.Etas) == 0 {
+		sc.PHY = phy.DefaultParams()
+	}
+	if sc.MAC.Geometry.FrameSymbols == 0 {
+		sc.MAC = mac.DefaultConfig()
+	}
+	sc.MAC.UseQueue = sc.UseQueue
+	if sc.WarmupSec <= 0 {
+		sc.WarmupSec = 2
+	}
+	if sc.DurationSec <= 0 {
+		sc.DurationSec = 30
+	}
+	return sc
+}
+
+// Validate reports scenario configuration errors.
+func (sc Scenario) Validate() error {
+	if sc.NumVoice < 0 || sc.NumData < 0 {
+		return fmt.Errorf("core: negative station counts %d/%d", sc.NumVoice, sc.NumData)
+	}
+	if sc.NumVoice+sc.NumData == 0 {
+		return fmt.Errorf("core: no stations")
+	}
+	if _, err := NewProtocol(sc.Protocol); err != nil {
+		return err
+	}
+	if err := sc.Channel.Validate(); err != nil {
+		return err
+	}
+	if err := sc.PHY.Validate(); err != nil {
+		return err
+	}
+	if err := sc.MAC.Validate(); err != nil {
+		return err
+	}
+	if n := sc.NumVoice + sc.NumData; len(sc.SpeedsKmh) > 0 && len(sc.SpeedsKmh) != n {
+		return fmt.Errorf("core: %d speeds for %d stations", len(sc.SpeedsKmh), n)
+	}
+	return nil
+}
+
+// Build assembles the system and protocol without running them (exposed
+// for tests and custom drivers).
+func (sc Scenario) Build() (*mac.System, mac.Protocol, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	proto, err := NewProtocol(sc.Protocol)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var modem phy.PHY
+	if AdaptivePHYFor(sc.Protocol) {
+		modem = phy.NewAdaptive(sc.PHY)
+	} else {
+		modem = phy.NewFixed(sc.PHY)
+	}
+
+	n := sc.NumVoice + sc.NumData
+	var bank *channel.Bank
+	if len(sc.SpeedsKmh) > 0 {
+		bank = channel.NewBankWithSpeeds(sc.SpeedsKmh, sc.Channel, sc.Seed)
+	} else {
+		bank = channel.NewBank(n, sc.Channel, sc.Seed)
+	}
+
+	stations := make([]*mac.Station, n)
+	for i := 0; i < n; i++ {
+		st := &mac.Station{ID: i, Fading: bank.User(i)}
+		if i < sc.NumVoice {
+			st.Voice = traffic.NewVoice(traffic.DefaultVoiceParams(),
+				rng.Derive(sc.Seed, "voice", fmt.Sprint(i)), 0)
+		} else {
+			st.Data = traffic.NewData(traffic.DefaultDataParams(),
+				rng.Derive(sc.Seed, "data", fmt.Sprint(i)), 0)
+		}
+		stations[i] = st
+	}
+
+	macStream := rng.Derive(sc.Seed, "mac", sc.Protocol)
+	sys, err := mac.NewSystem(sc.MAC, modem, stations, macStream)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, proto, nil
+}
+
+// Run executes the scenario and returns the measured metrics.
+func (sc Scenario) Run() (mac.Result, error) {
+	sc = sc.withDefaults()
+	sys, proto, err := sc.Build()
+	if err != nil {
+		return mac.Result{}, err
+	}
+	warmup := sim.FromSeconds(sc.WarmupSec)
+	limit := warmup + sim.FromSeconds(sc.DurationSec)
+
+	proto.Init(sys)
+	eng := sim.NewEngine()
+	marked := false
+	var frameStep sim.Handler
+	frameStep = func(e *sim.Engine) {
+		if !marked && sys.Now() >= warmup {
+			sys.M.Mark()
+			marked = true
+		}
+		sys.BeginFrame()
+		dur := proto.RunFrame(sys)
+		sys.EndFrame(dur)
+		if sys.Now() < limit {
+			e.Schedule(sys.Now(), frameStep)
+		}
+	}
+	eng.Schedule(0, frameStep)
+	eng.Run()
+
+	return sys.M.Result(proto.Name(), sys.Cfg.Geometry.FrameSymbols), nil
+}
+
+// RunMany executes scenarios concurrently across the machine's cores and
+// returns results in input order. The first error aborts nothing — every
+// scenario runs — but the error is reported.
+func RunMany(scs []Scenario) ([]mac.Result, error) {
+	results := make([]mac.Result, len(scs))
+	errs := make([]error, len(scs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = scs[i].Run()
+			}
+		}()
+	}
+	for i := range scs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"charisma/internal/channel"
+)
+
+// RenderPanel writes a figure panel as an aligned data table followed by an
+// ASCII plot, mirroring how the paper presents each figure.
+func RenderPanel(w io.Writer, p Panel) {
+	fmt.Fprintf(w, "%s\n%s\n", p.Title, strings.Repeat("=", len(p.Title)))
+	if len(p.Series) == 0 {
+		fmt.Fprintln(w, "(empty)")
+		return
+	}
+
+	fmt.Fprintf(w, "%-8s", p.XLabel)
+	for _, s := range p.Series {
+		fmt.Fprintf(w, " %12s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for i := range p.Series[0].X {
+		fmt.Fprintf(w, "%-8g", p.Series[0].X[i])
+		for _, s := range p.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(w, " %12.5g", s.Y[i])
+			} else {
+				fmt.Fprintf(w, " %12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	RenderASCIIPlot(w, p, 64, 18)
+}
+
+// RenderASCIIPlot draws the panel as a log-y scatter plot with one marker
+// per protocol.
+func RenderASCIIPlot(w io.Writer, p Panel, width, height int) {
+	markers := "CVFDRM*+x#"
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if y > 0 && y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+		}
+	}
+	if math.IsInf(minY, 1) || maxY <= 0 || maxX == minX {
+		fmt.Fprintln(w, "(no positive data to plot)")
+		return
+	}
+	if minY == maxY {
+		minY = maxY / 10
+	}
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			col := int(float64(width-1) * (s.X[i] - minX) / (maxX - minX))
+			row := int(float64(height-1) * (math.Log10(s.Y[i]) - logMin) / (logMax - logMin))
+			row = height - 1 - row
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	for r, line := range grid {
+		level := math.Pow(10, logMax-(logMax-logMin)*float64(r)/float64(height-1))
+		fmt.Fprintf(w, "%10.3g |%s|\n", level, string(line))
+	}
+	fmt.Fprintf(w, "%10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s  %-10g%s%10g\n", "", minX, strings.Repeat(" ", width-20), maxX)
+	fmt.Fprintf(w, "legend: ")
+	for si, s := range p.Series {
+		fmt.Fprintf(w, "%c=%s ", markers[si%len(markers)], s.Label)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+// RenderCapacity writes the paper-style capacity summary ("protocol X
+// supports N voice users at the 1 percent threshold").
+func RenderCapacity(w io.Writer, p Panel, threshold float64) {
+	caps := Capacity(p, threshold)
+	type kv struct {
+		name string
+		cap  float64
+	}
+	var list []kv
+	for k, v := range caps {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		a, b := list[i].cap, list[j].cap
+		if math.IsNaN(a) {
+			a = -1
+		}
+		if math.IsNaN(b) {
+			b = -1
+		}
+		return a > b
+	})
+	fmt.Fprintf(w, "capacity at the %.0f%% voice loss threshold:\n", threshold*100)
+	for _, e := range list {
+		if math.IsNaN(e.cap) {
+			fmt.Fprintf(w, "  %-11s (no crossing in sweep range)\n", e.name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-11s ≈ %.0f voice users\n", e.name, e.cap)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTrace writes a Fig. 5-style fading trace table (decimated).
+func RenderTrace(w io.Writer, tr []channel.TracePoint, every int) {
+	fmt.Fprintln(w, "Fig.5 — sample of channel fading (fast fading on long-term shadowing)")
+	fmt.Fprintf(w, "%10s %12s %12s\n", "t (ms)", "c(t) (dB)", "shadow (dB)")
+	for i := 0; i < len(tr); i += every {
+		fmt.Fprintf(w, "%10.1f %12.2f %12.2f\n", tr[i].T.Milliseconds(), tr[i].AmpDB, tr[i].ShadowDB)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderABICM writes the Fig. 7 curves as a table.
+func RenderABICM(w io.Writer, pts []ABICMPoint, every int) {
+	fmt.Fprintln(w, "Fig.7 — ABICM instantaneous BER (a) and throughput staircase (b) vs CSI")
+	fmt.Fprintf(w, "%10s %9s %5s %5s %12s %12s %7s\n",
+		"CSI amp", "SNR dB", "mode", "η", "BER", "fixed BER", "outage")
+	for i := 0; i < len(pts); i += every {
+		p := pts[i]
+		fmt.Fprintf(w, "%10.4f %9.2f %5d %5.1f %12.3e %12.3e %7v\n",
+			p.CSIAmp, p.SNRdB, p.Mode, p.Eta, p.BER, p.FixedBER, p.InOutage)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderSpeed writes the §5.3.3 speed-sensitivity table.
+func RenderSpeed(w io.Writer, pts []SpeedPoint) {
+	fmt.Fprintln(w, "§5.3.3 — CHARISMA voice loss vs mobile speed")
+	fmt.Fprintf(w, "%12s %12s\n", "speed (km/h)", "Ploss")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%12g %11.4f%%\n", p.SpeedKmh, 100*p.VoiceLoss)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderTable1 writes the parameter table.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1 — simulation parameters")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-32s %s\n", r.Parameter, r.Value)
+	}
+	fmt.Fprintln(w)
+}

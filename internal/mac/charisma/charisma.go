@@ -1,0 +1,328 @@
+// Package charisma implements the paper's proposed protocol: CHannel
+// Adaptive Reservation-based ISochronous Multiple Access (§4).
+//
+// CHARISMA departs from the baselines in one structural way: it does NOT
+// assign information capacity immediately after each successful request.
+// Instead the base station first gathers every request of the frame — new
+// contention winners, backlog requests held in the request queue, and the
+// reservation requests it auto-generates for admitted voice users every
+// 20 ms — and then allocates the information subframe in one pass, ordered
+// by a priority metric (eq. (2)) that combines:
+//
+//   - the CSI-dependent achievable throughput f(ĉ) the adaptive PHY would
+//     realize for that user (selection diversity: frames get packed with
+//     good-channel users, deferring deep-faded ones until their channel
+//     recovers or their deadline approaches),
+//   - deadline urgency for voice and accumulated waiting time for data
+//     (the fairness terms that bound starvation), and
+//   - a static voice priority offset.
+//
+// CSI is estimated from pilot symbols carried in request packets and is
+// treated as valid for two frames; older estimates of high-priority backlog
+// requests are refreshed through the downlink CSI-polling / uplink pilot
+// subframe (Nb slots per frame, §4.4), and anything still stale is
+// discounted so the scheduler stays conservative about obsolete channel
+// knowledge.
+package charisma
+
+import (
+	"math"
+	"sort"
+
+	"charisma/internal/channel"
+	"charisma/internal/mac"
+	"charisma/internal/phy"
+	"charisma/internal/sim"
+)
+
+// Protocol is the CHARISMA access scheme.
+type Protocol struct {
+	// resEst holds the BS-side CSI estimate for each admitted (reserved)
+	// voice station, refreshed by polling; indexed by station ID.
+	resEst []channel.Estimate
+	// acked marks stations whose request was received this frame.
+	acked []bool
+	// etaMax normalizes f(CSI) to [0,1].
+	etaMax float64
+	// avgEta tracks each station's EWMA realized throughput for the
+	// fairness extension (§6 / [22]); indexed by station ID.
+	avgEta []float64
+}
+
+// New returns a CHARISMA instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements mac.Protocol.
+func (p *Protocol) Name() string { return "charisma" }
+
+// Init implements mac.Protocol.
+func (p *Protocol) Init(s *mac.System) {
+	p.resEst = make([]channel.Estimate, len(s.Stations))
+	p.acked = make([]bool, len(s.Stations))
+	modes := s.PHY.Modes()
+	p.etaMax = modes[len(modes)-1].Eta
+	p.avgEta = make([]float64, len(s.Stations))
+	for i := range p.avgEta {
+		p.avgEta[i] = 1 // neutral prior: the fixed-rate baseline
+	}
+}
+
+// fairnessWeight returns the divisor the fairness extension applies to the
+// CSI term: avgEta^exponent, clamped away from zero.
+func (p *Protocol) fairnessWeight(s *mac.System, id int) float64 {
+	exp := s.Cfg.Charisma.FairnessExponent
+	if exp <= 0 {
+		return 1
+	}
+	avg := p.avgEta[id]
+	if avg < 0.1 {
+		avg = 0.1
+	}
+	return math.Pow(avg/p.etaMax, exp)
+}
+
+// observeEta folds a scheduled transmission's throughput into the user's
+// EWMA for the fairness extension.
+func (p *Protocol) observeEta(s *mac.System, id int, eta float64) {
+	if s.Cfg.Charisma.FairnessExponent <= 0 {
+		return
+	}
+	mem := s.Cfg.Charisma.FairnessMemory
+	if mem <= 0 || mem >= 1 {
+		mem = 0.99
+	}
+	p.avgEta[id] = mem*p.avgEta[id] + (1-mem)*eta
+}
+
+// candidate is one allocation candidate with its computed priority.
+type candidate struct {
+	r        *mac.Request
+	reserved bool // BS-generated reservation request (not queueable)
+	prio     float64
+	mode     phy.Mode
+	outage   bool
+}
+
+// priority computes eq. (2) for a request given the effective (staleness-
+// discounted) CSI amplitude.
+func (p *Protocol) priority(s *mac.System, c *candidate) {
+	cp := s.Cfg.Charisma
+	amp := s.EffectiveAmp(c.r.Est)
+	c.mode = s.PHY.ModeForAmplitude(amp)
+	c.outage = s.PHY.OutageForAmplitude(amp)
+	f := c.mode.Eta / p.etaMax
+	if c.outage {
+		f = 0
+	}
+	// Fairness extension (§6/[22]): rank the channel relative to the
+	// user's own long-run average rather than absolutely.
+	f /= p.fairnessWeight(s, c.r.St.ID)
+	fd := float64(s.FrameDuration())
+	if c.r.Kind == mac.KindVoice {
+		framesLeft := 0.0
+		if pkt, ok := c.r.St.Voice.Oldest(); ok {
+			framesLeft = float64(pkt.Deadline-s.Now()) / fd
+			if framesLeft < 0 {
+				framesLeft = 0
+			}
+		}
+		urgency := math.Pow(cp.LambdaV, framesLeft)
+		c.prio = cp.Alpha*f + cp.BetaV*urgency + cp.VoiceOffset
+		return
+	}
+	waited := float64(s.Now()-c.r.Born) / fd
+	if waited < 0 {
+		waited = 0
+	}
+	patience := 1 - math.Pow(cp.LambdaD, waited)
+	c.prio = cp.Alpha*f + cp.BetaD*patience
+}
+
+// RunFrame implements mac.Protocol.
+func (p *Protocol) RunFrame(s *mac.System) sim.Time {
+	g := s.Cfg.Geometry
+	budget := g.CharismaInfoSymbols()
+	s.M.AddInfoBudget(budget)
+	for i := range p.acked {
+		p.acked[i] = false
+	}
+
+	// --- Gather phase ---
+
+	pool := make([]*candidate, 0, 16)
+
+	// Reservation requests the BS auto-generates for admitted voice
+	// users (§4.3: one per 20 ms voice period, materialized by the
+	// packets waiting in the device buffer). These are base-station
+	// state, not contention survivors, so they retry each frame while
+	// their packets live regardless of the request-queue variant — the
+	// queue of §4.5 holds only contention-borne requests.
+	for _, st := range s.Stations {
+		if st.Reserved && !st.PendingAtBS && st.Voice.Buffered() > 0 {
+			pool = append(pool, &candidate{
+				r: &mac.Request{
+					St:    st,
+					Kind:  mac.KindVoice,
+					NPkts: st.Voice.Buffered(),
+					Born:  s.Now(),
+					Est:   p.resEst[st.ID],
+				},
+				reserved: true,
+			})
+		}
+	}
+
+	// Backlog requests held at the BS (queue variant). They are
+	// re-evaluated every frame; survivors are re-enqueued at the end.
+	// Gathered after the reservation scan so a station whose earlier
+	// request still sits in the queue is not double-represented.
+	for _, r := range s.TakeQueue() {
+		pool = append(pool, &candidate{r: r})
+	}
+
+	// CSI-polling subframe: refresh the Nb most important stale
+	// estimates (paper Fig. 10). Priorities are computed with the stale
+	// values first, exactly as the BS would rank its backlog.
+	if !s.Cfg.Charisma.DisableCSIRefresh {
+		p.pollCSI(s, pool)
+	}
+
+	// Every station already represented in the pool (reservation or
+	// dequeued backlog) must not contend again this frame.
+	for _, c := range pool {
+		p.acked[c.r.St.ID] = true
+	}
+
+	// Request phase: Nr contention minislots gather new requests —
+	// without announcing any allocation yet.
+	for ms := 0; ms < g.CharismaRequestSlots; ms++ {
+		w := s.Contend(p.contenders(s))
+		if w == nil {
+			continue
+		}
+		p.acked[w.ID] = true
+		pool = append(pool, &candidate{r: s.NewRequest(w, s.RequestKind(w))})
+	}
+
+	// --- Allocation phase ---
+
+	for _, c := range pool {
+		p.priority(s, c)
+	}
+	sort.SliceStable(pool, func(i, j int) bool {
+		if pool[i].prio != pool[j].prio {
+			return pool[i].prio > pool[j].prio
+		}
+		return pool[i].r.St.ID < pool[j].r.St.ID
+	})
+
+	overhead := g.CharismaGrantOverheadSymbols
+	for _, c := range pool {
+		st := c.r.St
+		var want int
+		if c.r.Kind == mac.KindVoice {
+			want = st.Voice.Buffered()
+		} else {
+			want = st.Data.Backlog()
+		}
+		if want == 0 {
+			continue // nothing left to send; candidate evaporates
+		}
+		spp := c.mode.SymbolsPerPacket
+		maxFit := (budget - overhead) / spp
+		if maxFit <= 0 {
+			// Does not fit — keep scanning: a higher-mode (cheaper)
+			// candidate further down may still pack into the
+			// remaining symbols.
+			continue
+		}
+		n := want
+		if n > maxFit {
+			n = maxFit
+		}
+		cost := n*spp + overhead
+		budget -= cost
+		s.M.AddInfoUsed(cost)
+		p.observeEta(s, st.ID, c.mode.Eta)
+		if c.r.Kind == mac.KindVoice {
+			ok, errs := s.TransmitVoice(st, c.mode, n)
+			if s.DebugVoiceTx != nil {
+				s.DebugVoiceTx(st, c.mode, s.EffectiveAmp(c.r.Est), c.r.Est.Age(s.Now()), ok, errs)
+			}
+			if !st.Reserved {
+				s.GrantReservation(st)
+			}
+			// The information transmission itself carries pilot
+			// symbols, so the BS leaves this frame with a fresh
+			// estimate for the next reservation cycle — without
+			// spending a polling slot.
+			p.resEst[st.ID] = st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.Now())
+			// Fully served or not, the reservation regenerates the
+			// request next frame for any remainder.
+			c.r = nil
+		} else {
+			s.TransmitData(st, c.mode, n)
+			// Data allocations are one-shot: the station must
+			// contend again for any remaining backlog (§4.1).
+			c.r = nil
+		}
+	}
+
+	// --- Backlog phase ---
+
+	// Unserved contention-borne requests survive in the BS queue when it
+	// is enabled; without the queue they are lost and the stations must
+	// contend again. Reservation requests regenerate from BS state.
+	for _, c := range pool {
+		if c.r == nil || c.reserved {
+			continue
+		}
+		s.Enqueue(c.r)
+	}
+	return g.Duration()
+}
+
+// pollCSI spends the Nb pilot slots refreshing the highest-priority stale
+// estimates among the backlog candidates.
+func (p *Protocol) pollCSI(s *mac.System, pool []*candidate) {
+	var stale []*candidate
+	for _, c := range pool {
+		if s.EstimateStale(c.r.Est) {
+			p.priority(s, c)
+			stale = append(stale, c)
+		}
+	}
+	if len(stale) == 0 {
+		return
+	}
+	sort.SliceStable(stale, func(i, j int) bool {
+		if stale[i].prio != stale[j].prio {
+			return stale[i].prio > stale[j].prio
+		}
+		return stale[i].r.St.ID < stale[j].r.St.ID
+	})
+	n := s.Cfg.Geometry.CharismaPilotSlots
+	if n > len(stale) {
+		n = len(stale)
+	}
+	for i := 0; i < n; i++ {
+		c := stale[i]
+		c.r.Est = s.RefreshEstimate(c.r.St)
+		if c.r.Kind == mac.KindVoice && c.r.St.Reserved {
+			p.resEst[c.r.St.ID] = c.r.Est
+		}
+	}
+}
+
+func (p *Protocol) contenders(s *mac.System) []*mac.Station {
+	var cands []*mac.Station
+	for _, st := range s.Stations {
+		if p.acked[st.ID] {
+			continue
+		}
+		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
+			cands = append(cands, st)
+		}
+	}
+	return cands
+}

@@ -1,0 +1,136 @@
+// Package drma implements the DRMA baseline (Qiu & Li [19]; paper §3.3).
+//
+// DRMA uses a dynamic frame of Nk information slots with no dedicated
+// request subframe. At the beginning of each information slot the base
+// station announces whether the slot is assigned; an unassigned slot is
+// "converted" into Nx request minislots in which active users contend.
+// Successful requests are granted information slots later in the current
+// frame if any remain free. Because users only get contention opportunities
+// when idle slots exist, the request load is automatically throttled at
+// high traffic — the protocol's self-stabilizing property (§5.1: an
+// inherent "distributed requests queueing" behaviour).
+//
+// Voice winners reserve one transmission every 20 ms; data users contend
+// per frame. The physical layer is the fixed-throughput encoder.
+package drma
+
+import (
+	"charisma/internal/mac"
+	"charisma/internal/phy"
+	"charisma/internal/sim"
+)
+
+// Protocol is the DRMA access scheme.
+type Protocol struct {
+	served []bool
+	// pending holds contention winners awaiting their information slot.
+	// This is the protocol's *dynamic reservation*: a successful request
+	// stays assigned at the base station until a slot frees up, which is
+	// also why an additional explicit request queue barely helps DRMA
+	// (§5.1: the protocol has an inherent queueing property).
+	pending []*mac.Request
+}
+
+// New returns a DRMA instance.
+func New() *Protocol { return &Protocol{} }
+
+// Name implements mac.Protocol.
+func (p *Protocol) Name() string { return "drma" }
+
+// Init implements mac.Protocol.
+func (p *Protocol) Init(s *mac.System) {
+	p.served = make([]bool, len(s.Stations))
+	p.pending = nil
+}
+
+func (p *Protocol) fixedMode(s *mac.System) phy.Mode { return s.PHY.Modes()[0] }
+
+// RunFrame implements mac.Protocol.
+func (p *Protocol) RunFrame(s *mac.System) sim.Time {
+	g := s.Cfg.Geometry
+	s.M.AddInfoBudget(g.DRMAInfoSlots * g.InfoSlotSymbols)
+	for i := range p.served {
+		p.served[i] = false
+	}
+	mode := p.fixedMode(s)
+
+	// Pending grants from previous frames are served first, in FIFO
+	// order, as slots free up. Winners whose service class evaporated in
+	// the meantime (all voice packets expired, data backlog drained) are
+	// scrubbed.
+	grants := p.pending[:0]
+	for _, r := range p.pending {
+		if (r.Kind == mac.KindVoice && r.St.Voice.Buffered() == 0 && !r.St.Voice.Talking()) ||
+			(r.Kind == mac.KindData && r.St.Data.Backlog() == 0) {
+			r.St.PendingAtBS = false
+			continue
+		}
+		grants = append(grants, r)
+	}
+	for _, r := range grants {
+		p.served[r.St.ID] = true
+	}
+	reserved := s.VoiceReservationsDue()
+	ri := 0
+
+	for slot := 0; slot < g.DRMAInfoSlots; slot++ {
+		// The BS announcement: is this slot assigned?
+		if ri < len(reserved) {
+			st := reserved[ri]
+			ri++
+			s.TransmitVoice(st, mode, 1)
+			s.AdvanceReservation(st)
+			s.M.AddInfoUsed(g.InfoSlotSymbols)
+			continue
+		}
+		if len(grants) > 0 {
+			r := grants[0]
+			grants = grants[1:]
+			r.St.PendingAtBS = false
+			if r.Kind == mac.KindVoice {
+				if r.St.Voice.Buffered() > 0 {
+					s.TransmitVoice(r.St, mode, 1)
+					s.GrantReservation(r.St)
+					s.M.AddInfoUsed(g.InfoSlotSymbols)
+				}
+			} else if r.St.Data.Backlog() > 0 {
+				s.TransmitData(r.St, mode, 1)
+				s.M.AddInfoUsed(g.InfoSlotSymbols)
+			}
+			continue
+		}
+		// Unassigned: the slot converts into Nx request minislots. The
+		// slot itself is consumed by the contention process; winners
+		// are granted *later* slots of this frame (or queued).
+		for x := 0; x < g.DRMAMinislotsPerSlot; x++ {
+			cands := p.contenders(s)
+			w := s.Contend(cands)
+			if w == nil {
+				continue
+			}
+			p.served[w.ID] = true
+			grants = append(grants, s.NewRequest(w, s.RequestKind(w)))
+		}
+	}
+
+	// Winners that found no free slot keep their dynamic reservation and
+	// take the first slots of upcoming frames.
+	for _, r := range grants {
+		r.St.PendingAtBS = true
+	}
+	p.pending = grants
+	return g.Duration()
+}
+
+func (p *Protocol) contenders(s *mac.System) []*mac.Station {
+	var cands []*mac.Station
+	for _, st := range s.Stations {
+		if p.served[st.ID] {
+			continue
+		}
+		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
+			cands = append(cands, st)
+		}
+	}
+	return cands
+}

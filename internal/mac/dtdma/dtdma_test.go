@@ -1,0 +1,172 @@
+package dtdma_test
+
+import (
+	"testing"
+
+	"charisma/internal/core"
+	"charisma/internal/mac"
+	"charisma/internal/mac/dtdma"
+)
+
+func build(t *testing.T, proto string, nv, nd int, queue bool) (*mac.System, mac.Protocol) {
+	t.Helper()
+	sc := core.DefaultScenario(proto)
+	sc.NumVoice, sc.NumData = nv, nd
+	sc.UseQueue = queue
+	sys, p, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Init(sys)
+	return sys, p
+}
+
+func runFrames(sys *mac.System, p mac.Protocol, n int) {
+	for i := 0; i < n; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(p.RunFrame(sys))
+	}
+}
+
+func TestNames(t *testing.T) {
+	if dtdma.New().Name() != "d-tdma/fr" {
+		t.Fatal("FR name wrong")
+	}
+	if dtdma.NewVariable().Name() != "d-tdma/vr" {
+		t.Fatal("VR name wrong")
+	}
+}
+
+func TestFixedFrameDuration(t *testing.T) {
+	sys, p := build(t, core.ProtoDTDMAFR, 10, 0, false)
+	for i := 0; i < 50; i++ {
+		sys.BeginFrame()
+		if dur := p.RunFrame(sys); dur != sys.Cfg.Geometry.Duration() {
+			t.Fatalf("duration %v", dur)
+		}
+		sys.EndFrame(sys.Cfg.Geometry.Duration())
+	}
+}
+
+func TestBudgetNeverExceeded(t *testing.T) {
+	for _, proto := range []string{core.ProtoDTDMAFR, core.ProtoDTDMAVR} {
+		sys, p := build(t, proto, 40, 10, true)
+		runFrames(sys, p, 2000)
+		if used, total := sys.M.InfoSymbolsUsed.Total(), sys.M.InfoSymbolsTotal.Total(); used > total {
+			t.Fatalf("%s: used %d of %d symbols", proto, used, total)
+		}
+	}
+}
+
+func TestFRUsesOneSlotPerVoicePacket(t *testing.T) {
+	sys, p := build(t, core.ProtoDTDMAFR, 8, 0, false)
+	runFrames(sys, p, 4000)
+	txs := sys.M.VoiceTxOK.Total() + sys.M.VoiceTxErr.Total()
+	used := sys.M.InfoSymbolsUsed.Total()
+	if txs == 0 {
+		t.Fatal("no voice transmissions")
+	}
+	if used != txs*uint64(sys.Cfg.Geometry.InfoSlotSymbols) {
+		t.Fatalf("FR symbol usage %d != packets %d x 160 (fixed rate broken)", used, txs)
+	}
+}
+
+func TestVRUsesFewerSymbolsPerPacketOnAverage(t *testing.T) {
+	sysFR, pFR := build(t, core.ProtoDTDMAFR, 8, 0, false)
+	runFrames(sysFR, pFR, 4000)
+	sysVR, pVR := build(t, core.ProtoDTDMAVR, 8, 0, false)
+	runFrames(sysVR, pVR, 4000)
+	perPktFR := float64(sysFR.M.InfoSymbolsUsed.Total()) / float64(sysFR.M.VoiceTxOK.Total()+sysFR.M.VoiceTxErr.Total())
+	perPktVR := float64(sysVR.M.InfoSymbolsUsed.Total()) / float64(sysVR.M.VoiceTxOK.Total()+sysVR.M.VoiceTxErr.Total())
+	if perPktVR >= perPktFR {
+		t.Fatalf("VR %.1f symbols/packet not below FR %.1f — adaptive PHY not helping", perPktVR, perPktFR)
+	}
+}
+
+func TestReservationsGranted(t *testing.T) {
+	sys, p := build(t, core.ProtoDTDMAFR, 10, 0, false)
+	runFrames(sys, p, 4000)
+	if sys.M.ReservationsGranted.Total() == 0 {
+		t.Fatal("no reservations granted")
+	}
+}
+
+func TestQueueHoldsOverflow(t *testing.T) {
+	sys, p := build(t, core.ProtoDTDMAFR, 90, 0, true)
+	peak := 0
+	for i := 0; i < 3000; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(p.RunFrame(sys))
+		if sys.QueueLen() > peak {
+			peak = sys.QueueLen()
+		}
+	}
+	if peak == 0 {
+		t.Fatal("queue never used at overload")
+	}
+	if peak > sys.Cfg.QueueCap {
+		t.Fatalf("queue peak %d exceeded cap", peak)
+	}
+}
+
+func TestNoQueueLeavesQueueEmpty(t *testing.T) {
+	sys, p := build(t, core.ProtoDTDMAFR, 90, 0, false)
+	for i := 0; i < 1500; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(p.RunFrame(sys))
+		if sys.QueueLen() != 0 {
+			t.Fatal("queue populated despite UseQueue=false")
+		}
+	}
+}
+
+func TestDataServiceIsSingleSlotPerFrame(t *testing.T) {
+	// A lone FR data user can deliver at most one packet per frame.
+	sys, p := build(t, core.ProtoDTDMAFR, 0, 1, false)
+	prev := uint64(0)
+	for i := 0; i < 4000; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(p.RunFrame(sys))
+		delivered := sys.M.DataDelivered.Total()
+		if delivered-prev > 1 {
+			t.Fatalf("FR delivered %d data packets in one frame", delivered-prev)
+		}
+		prev = delivered
+	}
+	if prev == 0 {
+		t.Fatal("no data delivered in 10 s")
+	}
+}
+
+func TestVRDataCanBatchPackets(t *testing.T) {
+	// The adaptive PHY lets a VR data user deliver several packets in its
+	// slot-equivalent when its channel is good.
+	sys, p := build(t, core.ProtoDTDMAVR, 0, 1, false)
+	prev := uint64(0)
+	batched := false
+	for i := 0; i < 8000 && !batched; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(p.RunFrame(sys))
+		delivered := sys.M.DataDelivered.Total()
+		if delivered-prev > 1 {
+			batched = true
+		}
+		prev = delivered
+	}
+	if !batched {
+		t.Fatal("VR never delivered more than one packet per grant in 20 s")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(proto string) mac.Result {
+		sys, p := build(t, proto, 20, 5, true)
+		runFrames(sys, p, 1000)
+		return sys.M.Result(proto, sys.Cfg.Geometry.FrameSymbols)
+	}
+	for _, proto := range []string{core.ProtoDTDMAFR, core.ProtoDTDMAVR} {
+		if run(proto) != run(proto) {
+			t.Fatalf("%s not deterministic", proto)
+		}
+	}
+}

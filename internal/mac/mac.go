@@ -1,0 +1,522 @@
+// Package mac provides the substrate shared by all six uplink access
+// control protocols: station state, the request/contention machinery with
+// permission probabilities (§2, "Request Contention Model"), voice
+// reservations, the optional base-station request queue (§4.5), CSI
+// estimate lifecycle, and the transmission bookkeeping that converts PHY
+// packet-error draws into the paper's performance metrics.
+package mac
+
+import (
+	"fmt"
+	"sort"
+
+	"charisma/internal/channel"
+	"charisma/internal/frame"
+	"charisma/internal/phy"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+	"charisma/internal/traffic"
+)
+
+// Kind distinguishes the two request/service classes.
+type Kind uint8
+
+// The two service classes of the integrated-services cell.
+const (
+	KindVoice Kind = iota
+	KindData
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindVoice {
+		return "voice"
+	}
+	return "data"
+}
+
+// Station is one mobile device. A station carries a voice source, a data
+// source, or both, plus the MAC-visible state every protocol manipulates.
+type Station struct {
+	ID     int
+	Voice  *traffic.VoiceSource
+	Data   *traffic.DataSource
+	Fading *channel.Fading
+
+	// Reserved marks an active voice reservation: the station owns one
+	// information transmission every voice period without re-contending.
+	Reserved bool
+	// NextVoiceDue is when the reservation next entitles a transmission.
+	NextVoiceDue sim.Time
+	// PendingAtBS marks that a request from this station is held in the
+	// base-station request queue, so the station must not re-contend.
+	PendingAtBS bool
+}
+
+// CharismaParams are the priority-metric weights of CHARISMA's eq. (2):
+// phi = Alpha·f(CSI) + Beta·urgency (+ VoiceOffset for voice), with
+// forgetting factors LambdaV (deadline urgency growth) and LambdaD
+// (waiting-time growth). See DESIGN.md §3 for the reconstruction.
+type CharismaParams struct {
+	Alpha       float64
+	BetaV       float64
+	BetaD       float64
+	VoiceOffset float64
+	LambdaV     float64
+	LambdaD     float64
+	// DisableCSIRefresh turns off the pilot-polling subframe (ablation:
+	// backlog requests then keep stale estimates).
+	DisableCSIRefresh bool
+
+	// FairnessExponent enables the paper's first future-work extension
+	// (§6, referencing the authors' channel-capacity fair queueing work
+	// [22]): the CSI term of eq. (2) is divided by the user's own
+	// long-run average throughput raised to this exponent, so a user is
+	// ranked by how good its channel is *relative to its own norm*
+	// rather than absolutely. 0 (default) reproduces eq. (2) exactly;
+	// 1 gives fully proportional-fair ranking that stops starving
+	// permanently shadowed users.
+	FairnessExponent float64
+	// FairnessMemory is the EWMA coefficient for the per-user average
+	// throughput estimate (per scheduled transmission); defaults to
+	// 0.99 when the exponent is positive.
+	FairnessMemory float64
+}
+
+// DefaultCharismaParams returns the reproduction defaults.
+func DefaultCharismaParams() CharismaParams {
+	return CharismaParams{
+		Alpha:       1.0,
+		BetaV:       2.0,
+		BetaD:       1.0,
+		VoiceOffset: 1.0,
+		LambdaV:     0.7,
+		LambdaD:     0.9,
+	}
+}
+
+// Config carries everything the protocols need beyond the PHY.
+type Config struct {
+	Geometry frame.Geometry
+
+	// PermVoice and PermData are the permission probabilities pv and pd
+	// governing request transmission in a contention minislot (§2).
+	PermVoice float64
+	PermData  float64
+
+	// UseQueue enables the base-station request queue (§4.5); QueueCap
+	// bounds it.
+	UseQueue bool
+	QueueCap int
+
+	// CSIEstNoiseStd is the relative pilot-estimation error.
+	CSIEstNoiseStd float64
+	// CSIValidityFrames is how many frames an estimate stays fresh
+	// (§4.4: "valid for two consecutive frames").
+	CSIValidityFrames int
+	// StaleDecayPerFrame discounts an estimate's amplitude for every
+	// frame beyond its validity, making the scheduler conservative about
+	// obsolete CSI.
+	StaleDecayPerFrame float64
+
+	Charisma CharismaParams
+}
+
+// DefaultConfig returns the reproduction defaults (Table 1 where readable;
+// reconstructed values per DESIGN.md §3 otherwise).
+func DefaultConfig() Config {
+	return Config{
+		Geometry:           frame.Default(),
+		PermVoice:          0.1,
+		PermData:           0.05,
+		UseQueue:           false,
+		QueueCap:           128,
+		CSIEstNoiseStd:     0.05,
+		CSIValidityFrames:  2,
+		StaleDecayPerFrame: 0.9,
+		Charisma:           DefaultCharismaParams(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.PermVoice <= 0 || c.PermVoice > 1 {
+		return fmt.Errorf("mac: voice permission probability %v out of (0,1]", c.PermVoice)
+	}
+	if c.PermData <= 0 || c.PermData > 1 {
+		return fmt.Errorf("mac: data permission probability %v out of (0,1]", c.PermData)
+	}
+	if c.UseQueue && c.QueueCap <= 0 {
+		return fmt.Errorf("mac: queue enabled with cap %d", c.QueueCap)
+	}
+	if c.CSIValidityFrames < 1 {
+		return fmt.Errorf("mac: CSI validity %d frames", c.CSIValidityFrames)
+	}
+	if c.StaleDecayPerFrame <= 0 || c.StaleDecayPerFrame > 1 {
+		return fmt.Errorf("mac: stale decay %v out of (0,1]", c.StaleDecayPerFrame)
+	}
+	if c.CSIEstNoiseStd < 0 {
+		return fmt.Errorf("mac: negative CSI noise %v", c.CSIEstNoiseStd)
+	}
+	return nil
+}
+
+// Request is a transmission request as the base station sees it: who, what
+// service, how many packets, when it was acknowledged, and the pilot CSI
+// estimate that arrived with it.
+type Request struct {
+	St    *Station
+	Kind  Kind
+	NPkts int
+	Born  sim.Time
+	Est   channel.Estimate
+}
+
+// Protocol is one uplink access control scheme. RunFrame executes a single
+// frame — contention, allocation and transmissions — and returns the
+// frame's duration (fixed 800 symbols for all protocols except RMAV).
+type Protocol interface {
+	Name() string
+	Init(s *System)
+	RunFrame(s *System) sim.Time
+}
+
+// System is the per-scenario simulation state shared between the platform
+// and the protocol: stations, PHY, clock, metrics, and the BS queue.
+type System struct {
+	Cfg      Config
+	PHY      phy.PHY
+	Stations []*Station
+	// Rand is the MAC-side randomness: contention coin flips, packet
+	// error draws, CSI estimation noise. It is distinct from the channel
+	// and traffic streams so every protocol observes identical channel
+	// and traffic sample paths.
+	Rand *rng.Stream
+	M    Metrics
+
+	now      sim.Time
+	frameIdx int64
+	lastDur  sim.Time
+
+	queue []*Request
+
+	// DebugVoiceTx, when non-nil, observes every voice transmission
+	// (station, mode, scheduler-side amplitude estimate, estimate age,
+	// outcome counts). Used by calibration diagnostics and tests; nil in
+	// production runs.
+	DebugVoiceTx func(st *Station, m phy.Mode, estAmp float64, estAge sim.Time, ok, errs int)
+}
+
+// NewSystem assembles a system. The caller supplies stations wired to their
+// fading processes and traffic sources.
+func NewSystem(cfg Config, modem phy.PHY, stations []*Station, macStream *rng.Stream) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if modem == nil {
+		return nil, fmt.Errorf("mac: nil PHY")
+	}
+	if macStream == nil {
+		return nil, fmt.Errorf("mac: nil MAC stream")
+	}
+	return &System{Cfg: cfg, PHY: modem, Stations: stations, Rand: macStream}, nil
+}
+
+// Now returns the current frame's start time.
+func (s *System) Now() sim.Time { return s.now }
+
+// FrameIndex returns the number of completed frames.
+func (s *System) FrameIndex() int64 { return s.frameIdx }
+
+// FrameDuration returns the standard fixed frame duration.
+func (s *System) FrameDuration() sim.Time { return s.Cfg.Geometry.Duration() }
+
+// BeginFrame advances every user's channel over the previous frame and
+// realizes traffic arrivals, deadline drops, and reservation releases at
+// the new frame boundary.
+func (s *System) BeginFrame() {
+	if s.lastDur > 0 {
+		for _, st := range s.Stations {
+			st.Fading.Advance(s.lastDur)
+		}
+	}
+	for _, st := range s.Stations {
+		if st.Voice != nil {
+			gen := st.Voice.Advance(s.now)
+			s.M.VoiceGenerated.Add(uint64(gen))
+			dropped := st.Voice.DropExpired(s.now)
+			s.M.VoiceDropped.Add(uint64(dropped))
+			// A reservation lapses once the talkspurt is over and
+			// the buffer has drained (by transmission or drop).
+			if st.Reserved && !st.Voice.Talking() && st.Voice.Buffered() == 0 {
+				st.Reserved = false
+			}
+		}
+		if st.Data != nil {
+			gen := st.Data.Advance(s.now)
+			s.M.DataGenerated.Add(uint64(gen))
+		}
+	}
+	s.scrubQueue()
+}
+
+// EndFrame closes the frame: dur is what the protocol consumed.
+func (s *System) EndFrame(dur sim.Time) {
+	if dur <= 0 {
+		panic("mac: protocol returned non-positive frame duration")
+	}
+	s.M.MeasuredTicks.Add(uint64(dur))
+	s.now += dur
+	s.frameIdx++
+	s.lastDur = dur
+}
+
+// NeedsVoiceRequest reports whether a station should contend for a voice
+// grant: it has speech packets buffered, no reservation, and no request
+// already queued at the base station.
+func (s *System) NeedsVoiceRequest(st *Station) bool {
+	return st.Voice != nil && st.Voice.Buffered() > 0 && !st.Reserved && !st.PendingAtBS
+}
+
+// NeedsDataRequest reports whether a station should contend for a data
+// grant: backlog exists and no request is already queued at the BS. (Data
+// reservations are never allowed: "a data request is not allowed to make
+// reservation", §4.1.)
+func (s *System) NeedsDataRequest(st *Station) bool {
+	return st.Data != nil && st.Data.Backlog() > 0 && !st.PendingAtBS
+}
+
+// RequestKind classifies what a contending station is asking for. Voice
+// takes precedence when a station carries both services.
+func (s *System) RequestKind(st *Station) Kind {
+	if s.NeedsVoiceRequest(st) {
+		return KindVoice
+	}
+	return KindData
+}
+
+// PermissionProb returns the §2 permission probability for a station's
+// pending request class.
+func (s *System) PermissionProb(st *Station) float64 {
+	if s.RequestKind(st) == KindVoice {
+		return s.Cfg.PermVoice
+	}
+	return s.Cfg.PermData
+}
+
+// Contend runs one contention minislot over the candidate set: every
+// candidate transmits its request with its permission probability; the
+// minislot succeeds only if exactly one transmits (no capture effect, §2).
+// It returns the winner or nil.
+func (s *System) Contend(cands []*Station) *Station {
+	var winner *Station
+	transmitted := 0
+	for _, st := range cands {
+		if s.Rand.Bernoulli(s.PermissionProb(st)) {
+			transmitted++
+			winner = st
+		}
+	}
+	if transmitted == 0 {
+		return nil
+	}
+	s.M.ReqAttempts.Add(uint64(transmitted))
+	if transmitted > 1 {
+		s.M.ReqCollisions.Inc()
+		return nil
+	}
+	s.M.ReqSuccesses.Inc()
+	return winner
+}
+
+// NewRequest builds a request for a contention winner, measuring CSI from
+// the pilot symbols embedded in the request packet (§4.3/§4.4).
+func (s *System) NewRequest(st *Station, kind Kind) *Request {
+	r := &Request{St: st, Kind: kind, Born: s.now}
+	if kind == KindVoice {
+		r.NPkts = st.Voice.Buffered()
+	} else {
+		r.NPkts = st.Data.Backlog()
+	}
+	r.Est = st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
+	return r
+}
+
+// EffectiveAmp returns the amplitude the scheduler should assume for an
+// estimate at the current time: the measured value geometrically discounted
+// per frame of age, so mode selection stays conservative about channel
+// drift. A same-frame estimate passes through unchanged; an estimate past
+// the paper's two-frame validity window (which also gates CSI-polling
+// eligibility) has decayed enough that the scheduler effectively treats the
+// user as near the bottom of its adaptation range.
+func (s *System) EffectiveAmp(e channel.Estimate) float64 {
+	amp := e.Amp
+	for age := e.Age(s.now); age > 0; age -= s.FrameDuration() {
+		amp *= s.Cfg.StaleDecayPerFrame
+	}
+	return amp
+}
+
+// EstimateStale reports whether an estimate is past the validity window
+// (§4.4) and therefore a candidate for CSI polling.
+func (s *System) EstimateStale(e channel.Estimate) bool {
+	return e.Age(s.now) > sim.Time(s.Cfg.CSIValidityFrames)*s.FrameDuration()
+}
+
+// RefreshEstimate re-measures a station's CSI (the CSI-polling mechanism of
+// §4.4: the station transmits pilot symbols in its assigned pilot slot).
+func (s *System) RefreshEstimate(st *Station) channel.Estimate {
+	s.M.CSIPolls.Inc()
+	return st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
+}
+
+// VoiceReservationsDue returns stations whose reservation entitles a
+// transmission this frame and that actually have speech queued, ordered by
+// due time then ID for determinism.
+func (s *System) VoiceReservationsDue() []*Station {
+	var due []*Station
+	for _, st := range s.Stations {
+		if !st.Reserved || st.NextVoiceDue > s.now {
+			continue
+		}
+		if st.Voice.Buffered() == 0 {
+			// Nothing to send this period (packet already dropped);
+			// keep the reservation cadence.
+			s.AdvanceReservation(st)
+			continue
+		}
+		due = append(due, st)
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].NextVoiceDue != due[j].NextVoiceDue {
+			return due[i].NextVoiceDue < due[j].NextVoiceDue
+		}
+		return due[i].ID < due[j].ID
+	})
+	return due
+}
+
+// GrantReservation installs a voice reservation starting now.
+func (s *System) GrantReservation(st *Station) {
+	st.Reserved = true
+	st.NextVoiceDue = s.now + s.Cfg.Geometry.VoicePeriod
+	s.M.ReservationsGranted.Inc()
+}
+
+// AdvanceReservation moves a reservation to its next period. The cadence
+// stays anchored to the original grant (like a PRMA user keeping the same
+// slot position every frame cycle): serving a deferred packet late must not
+// postpone the following period, or the service rate would fall below the
+// 20 ms packet arrival rate and the buffer would bleed deadline drops.
+func (s *System) AdvanceReservation(st *Station) {
+	period := s.Cfg.Geometry.VoicePeriod
+	st.NextVoiceDue += period
+	for st.NextVoiceDue <= s.now {
+		st.NextVoiceDue += period
+	}
+}
+
+// TransmitVoice sends up to maxPkts buffered voice packets of st in mode m.
+// Voice packets are never retransmitted (they are delay-bound): an error is
+// a loss. Returns packets sent OK and in error.
+func (s *System) TransmitVoice(st *Station, m phy.Mode, maxPkts int) (ok, errs int) {
+	per := s.PHY.PacketErrorProb(m, st.Fading.Amplitude())
+	n := st.Voice.Buffered()
+	if n > maxPkts {
+		n = maxPkts
+	}
+	for i := 0; i < n; i++ {
+		if _, popped := st.Voice.Pop(); !popped {
+			break
+		}
+		if s.Rand.Bernoulli(per) {
+			errs++
+		} else {
+			ok++
+		}
+	}
+	s.M.VoiceTxOK.Add(uint64(ok))
+	s.M.VoiceTxErr.Add(uint64(errs))
+	return ok, errs
+}
+
+// TransmitData attempts nPkts head-of-line data packets of st in mode m.
+// Failed packets remain queued for ARQ; successes record their queueing
+// delay. Returns successes and failures.
+func (s *System) TransmitData(st *Station, m phy.Mode, nPkts int) (ok, errs int) {
+	per := s.PHY.PacketErrorProb(m, st.Fading.Amplitude())
+	ok, errs = st.Data.TransmitAttempts(nPkts, s.now,
+		func() bool { return !s.Rand.Bernoulli(per) },
+		func(delay sim.Time) { s.M.ObserveDataDelay(delay) },
+	)
+	s.M.DataDelivered.Add(uint64(ok))
+	s.M.DataTxErr.Add(uint64(errs))
+	return ok, errs
+}
+
+// --- base-station request queue (§4.5) ---
+
+// QueueLen returns the number of queued requests.
+func (s *System) QueueLen() int { return len(s.queue) }
+
+// Queue returns the live queue slice (owned by the system; protocols may
+// reorder it but must use Enqueue/Pop/Take to change membership).
+func (s *System) Queue() []*Request { return s.queue }
+
+// Enqueue stores a request that survived contention but got no slots. It
+// returns false (and counts a drop) when the queue is full or queueing is
+// disabled.
+func (s *System) Enqueue(r *Request) bool {
+	if !s.Cfg.UseQueue || len(s.queue) >= s.Cfg.QueueCap {
+		s.M.QueueRejects.Inc()
+		return false
+	}
+	s.queue = append(s.queue, r)
+	r.St.PendingAtBS = true
+	return true
+}
+
+// PopQueueAt removes and returns the i-th queued request.
+func (s *System) PopQueueAt(i int) *Request {
+	r := s.queue[i]
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+	r.St.PendingAtBS = false
+	return r
+}
+
+// TakeQueue empties the queue and returns its contents, clearing each
+// station's pending flag. CHARISMA uses this to rebuild its candidate pool
+// every frame.
+func (s *System) TakeQueue() []*Request {
+	q := s.queue
+	s.queue = nil
+	for _, r := range q {
+		r.St.PendingAtBS = false
+	}
+	return q
+}
+
+// scrubQueue discards queued requests that can no longer be served: voice
+// requests whose packets all expired. ("If the deadline for a remaining
+// request has expired, this request will not be queued anymore", §4.3.)
+func (s *System) scrubQueue() {
+	if len(s.queue) == 0 {
+		return
+	}
+	kept := s.queue[:0]
+	for _, r := range s.queue {
+		if r.Kind == KindVoice && r.St.Voice.Buffered() == 0 {
+			r.St.PendingAtBS = false
+			continue
+		}
+		if r.Kind == KindData && r.St.Data.Backlog() == 0 {
+			r.St.PendingAtBS = false
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.queue = kept
+}

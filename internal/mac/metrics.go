@@ -1,0 +1,142 @@
+package mac
+
+import (
+	"charisma/internal/sim"
+	"charisma/internal/stats"
+)
+
+// Metrics accumulates the raw event counts of a run. Mark() freezes the
+// warm-up prefix so Result reports only the steady-state measurement
+// window, matching standard simulation practice for the paper's long-run
+// averages.
+type Metrics struct {
+	VoiceGenerated stats.Counter
+	VoiceDropped   stats.Counter
+	VoiceTxOK      stats.Counter
+	VoiceTxErr     stats.Counter
+
+	DataGenerated stats.Counter
+	DataDelivered stats.Counter
+	DataTxErr     stats.Counter
+
+	ReqAttempts   stats.Counter
+	ReqCollisions stats.Counter
+	ReqSuccesses  stats.Counter
+
+	ReservationsGranted stats.Counter
+	CSIPolls            stats.Counter
+	QueueRejects        stats.Counter
+
+	InfoSymbolsTotal stats.Counter
+	InfoSymbolsUsed  stats.Counter
+
+	MeasuredTicks stats.Counter
+
+	delay stats.MeanVar
+}
+
+// ObserveDataDelay records one successful data packet's queueing delay.
+func (m *Metrics) ObserveDataDelay(d sim.Time) { m.delay.Add(d.Seconds()) }
+
+// AddInfoBudget records the information-subframe symbol budget of a frame.
+func (m *Metrics) AddInfoBudget(symbols int) { m.InfoSymbolsTotal.Add(uint64(symbols)) }
+
+// AddInfoUsed records information symbols actually spent on transmissions.
+func (m *Metrics) AddInfoUsed(symbols int) { m.InfoSymbolsUsed.Add(uint64(symbols)) }
+
+// Mark starts the measurement window: everything counted so far is treated
+// as warm-up and excluded from Result.
+func (m *Metrics) Mark() {
+	m.VoiceGenerated.Mark()
+	m.VoiceDropped.Mark()
+	m.VoiceTxOK.Mark()
+	m.VoiceTxErr.Mark()
+	m.DataGenerated.Mark()
+	m.DataDelivered.Mark()
+	m.DataTxErr.Mark()
+	m.ReqAttempts.Mark()
+	m.ReqCollisions.Mark()
+	m.ReqSuccesses.Mark()
+	m.ReservationsGranted.Mark()
+	m.CSIPolls.Mark()
+	m.QueueRejects.Mark()
+	m.InfoSymbolsTotal.Mark()
+	m.InfoSymbolsUsed.Mark()
+	m.MeasuredTicks.Mark()
+	m.delay.Reset()
+}
+
+// Result is the paper's metric set for one scenario run.
+type Result struct {
+	Protocol string
+	// Frames is the measurement window expressed in standard 2.5 ms
+	// frame equivalents (RMAV's variable frames are normalized by time).
+	Frames float64
+
+	VoiceGenerated uint64
+	VoiceDropped   uint64
+	VoiceErrored   uint64
+	VoiceDelivered uint64
+	// VoiceLossRate is Ploss = (dropped + errored) / generated — eq. (3):
+	// both deadline expiry at the device and transmission error count as
+	// loss.
+	VoiceLossRate  float64
+	VoiceDropRate  float64
+	VoiceErrorRate float64
+
+	DataGenerated uint64
+	DataDelivered uint64
+	DataErrored   uint64
+	// DataThroughputPerFrame is γ: data packets successfully received at
+	// the base station per (standard) frame.
+	DataThroughputPerFrame float64
+	// MeanDataDelaySec is D_d: mean time from a data packet's arrival to
+	// the start of its successful transmission.
+	MeanDataDelaySec float64
+	// DataDelayCI95 is the 95% confidence half-width of the mean delay.
+	DataDelayCI95   float64
+	MaxDataDelaySec float64
+
+	ReqAttempts     uint64
+	ReqCollisions   uint64
+	ReqSuccesses    uint64
+	CollisionRate   float64
+	CSIPolls        uint64
+	QueueRejects    uint64
+	InfoUtilization float64
+}
+
+// Result snapshots the measurement window into the paper's metrics. The
+// frameSymbols argument is the standard frame length used to normalize
+// throughput (800 symbols = 2.5 ms).
+func (m *Metrics) Result(protocol string, frameSymbols int) Result {
+	frames := float64(m.MeasuredTicks.Since()) / float64(frameSymbols)
+	r := Result{
+		Protocol:       protocol,
+		Frames:         frames,
+		VoiceGenerated: m.VoiceGenerated.Since(),
+		VoiceDropped:   m.VoiceDropped.Since(),
+		VoiceErrored:   m.VoiceTxErr.Since(),
+		VoiceDelivered: m.VoiceTxOK.Since(),
+		DataGenerated:  m.DataGenerated.Since(),
+		DataDelivered:  m.DataDelivered.Since(),
+		DataErrored:    m.DataTxErr.Since(),
+		ReqAttempts:    m.ReqAttempts.Since(),
+		ReqCollisions:  m.ReqCollisions.Since(),
+		ReqSuccesses:   m.ReqSuccesses.Since(),
+		CSIPolls:       m.CSIPolls.Since(),
+		QueueRejects:   m.QueueRejects.Since(),
+	}
+	r.VoiceLossRate = stats.Ratio(r.VoiceDropped+r.VoiceErrored, r.VoiceGenerated)
+	r.VoiceDropRate = stats.Ratio(r.VoiceDropped, r.VoiceGenerated)
+	r.VoiceErrorRate = stats.Ratio(r.VoiceErrored, r.VoiceGenerated)
+	if frames > 0 {
+		r.DataThroughputPerFrame = float64(r.DataDelivered) / frames
+	}
+	r.MeanDataDelaySec = m.delay.Mean()
+	r.DataDelayCI95 = m.delay.CI95()
+	r.MaxDataDelaySec = m.delay.Max()
+	r.CollisionRate = stats.Ratio(r.ReqCollisions, r.ReqCollisions+r.ReqSuccesses)
+	r.InfoUtilization = stats.Ratio(m.InfoSymbolsUsed.Since(), m.InfoSymbolsTotal.Since())
+	return r
+}

@@ -1,0 +1,116 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBConversionsRoundTrip(t *testing.T) {
+	prop := func(raw float64) bool {
+		db := math.Mod(math.Abs(raw), 60) - 30 // [-30, 30) dB
+		lin := DBToLinear(db)
+		return math.Abs(LinearToDB(lin)-db) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBAnchors(t *testing.T) {
+	cases := []struct{ db, lin float64 }{
+		{0, 1}, {10, 10}, {20, 100}, {-10, 0.1}, {3, 1.9952623},
+	}
+	for _, c := range cases {
+		if got := DBToLinear(c.db); math.Abs(got-c.lin) > 1e-6 {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.lin)
+		}
+	}
+}
+
+func TestAmpDBConversions(t *testing.T) {
+	// 20 dB amplitude = 10x amplitude.
+	if got := AmpDBToLinear(20); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("AmpDBToLinear(20) = %v, want 10", got)
+	}
+	if got := AmpLinearToDB(10); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("AmpLinearToDB(10) = %v, want 20", got)
+	}
+	if !math.IsInf(AmpLinearToDB(0), -1) {
+		t.Fatal("AmpLinearToDB(0) should be -Inf")
+	}
+	if !math.IsInf(LinearToDB(-1), -1) {
+		t.Fatal("LinearToDB(-1) should be -Inf")
+	}
+}
+
+func TestQFunction(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.158655},
+		{2, 0.022750},
+		{3, 0.001350},
+		{-1, 0.841345},
+	}
+	for _, c := range cases {
+		if got := Q(c.x); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestQMonotoneDecreasing(t *testing.T) {
+	prev := 1.0
+	for x := -5.0; x <= 5; x += 0.25 {
+		q := Q(x)
+		if q > prev {
+			t.Fatalf("Q not monotone at %v", x)
+		}
+		prev = q
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaved")
+	}
+}
+
+func TestJakesCorrelationAnchors(t *testing.T) {
+	// J0(0) = 1.
+	if got := JakesCorrelation(100, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rho(0) = %v", got)
+	}
+	// First zero of J0 is at 2.405: tau = 2.405/(2*pi*fd).
+	tau := 2.404826 / (2 * math.Pi * 100)
+	if got := JakesCorrelation(100, tau); math.Abs(got) > 1e-4 {
+		t.Fatalf("rho at first zero = %v, want ~0", got)
+	}
+}
+
+func TestExpCorrelation(t *testing.T) {
+	if got := ExpCorrelation(0.01, 0); got != 1 {
+		t.Fatalf("rho(0) = %v, want 1", got)
+	}
+	if got := ExpCorrelation(0.01, 0.01); math.Abs(got-1/math.E) > 1e-12 {
+		t.Fatalf("rho(Tc) = %v, want 1/e", got)
+	}
+	if got := ExpCorrelation(0, 1); got != 0 {
+		t.Fatalf("rho with zero coherence = %v, want 0", got)
+	}
+	// Monotone decreasing in lag.
+	prev := 1.0
+	for tau := 0.0; tau < 0.1; tau += 0.001 {
+		r := ExpCorrelation(0.01, tau)
+		if r > prev {
+			t.Fatal("ExpCorrelation not monotone")
+		}
+		prev = r
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(0, 10, 0.5) != 5 || Lerp(2, 4, 0) != 2 || Lerp(2, 4, 1) != 4 {
+		t.Fatal("Lerp misbehaved")
+	}
+}

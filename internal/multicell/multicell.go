@@ -1,0 +1,326 @@
+// Package multicell implements the paper's second future-work item (§6):
+// coordinating CHARISMA-style cells so that a nomadic user attaches to the
+// base station that is best "from a channel quality point of view".
+//
+// Each user maintains an independent composite fading process toward every
+// base station (different paths, different terrain, hence independent
+// shadowing). Every decision period the deployment re-evaluates
+// attachments: a user hands off when another base station's local-mean
+// (long-term) amplitude exceeds its current one by a hysteresis margin —
+// the classical shadowing-driven handoff rule. A handoff is not free: the
+// user loses its reservation and any queued requests and must re-enter the
+// new cell through the request contention phase.
+//
+// The implementation keeps one station *clone* per (user, cell). Exactly
+// one clone — the attached one — carries the user's live traffic sources;
+// the others are inert but keep their channel processes advancing, so
+// every link's sample path is time-consistent when the handoff rule
+// consults it.
+package multicell
+
+import (
+	"fmt"
+
+	"charisma/internal/channel"
+	"charisma/internal/core"
+	"charisma/internal/mac"
+	"charisma/internal/phy"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+	"charisma/internal/traffic"
+)
+
+// Params configures a multi-cell deployment.
+type Params struct {
+	// Cells is the number of base stations (≥ 2).
+	Cells int
+	// Protocol is the per-cell uplink MAC (any fixed-frame protocol;
+	// RMAV's variable frames cannot be cell-synchronized and are
+	// rejected).
+	Protocol string
+	// NumVoice and NumData are deployment-wide user counts.
+	NumVoice int
+	NumData  int
+	// UseQueue enables the per-cell BS request queue.
+	UseQueue bool
+	// HysteresisDB is the long-term-CSI advantage (amplitude dB) a
+	// neighbour cell must show before a handoff triggers.
+	HysteresisDB float64
+	// DecisionPeriodFrames is how often attachments are re-evaluated.
+	DecisionPeriodFrames int
+	// DisableHandoff freezes the initial attachment (the baseline the
+	// channel-quality rule is measured against).
+	DisableHandoff bool
+	// Seed drives all randomness.
+	Seed int64
+	// WarmupSec / DurationSec bracket the measurement window.
+	WarmupSec   float64
+	DurationSec float64
+
+	// Channel, PHY and MAC default like core.Scenario.
+	Channel channel.Params
+	PHY     phy.Params
+	MAC     mac.Config
+}
+
+// DefaultParams returns a two-cell deployment with a 4 dB hysteresis and
+// 100 ms decision period.
+func DefaultParams() Params {
+	return Params{
+		Cells:                2,
+		Protocol:             core.ProtoCharisma,
+		NumVoice:             60,
+		HysteresisDB:         4,
+		DecisionPeriodFrames: 40,
+		Seed:                 1,
+		WarmupSec:            2,
+		DurationSec:          20,
+		Channel:              channel.DefaultParams(),
+		PHY:                  phy.DefaultParams(),
+		MAC:                  mac.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Cells < 2 {
+		return fmt.Errorf("multicell: need at least 2 cells, got %d", p.Cells)
+	}
+	if p.Protocol == core.ProtoRMAV {
+		return fmt.Errorf("multicell: RMAV's variable frames cannot be cell-synchronized")
+	}
+	if _, err := core.NewProtocol(p.Protocol); err != nil {
+		return err
+	}
+	if p.NumVoice+p.NumData == 0 {
+		return fmt.Errorf("multicell: no users")
+	}
+	if p.DecisionPeriodFrames < 1 {
+		return fmt.Errorf("multicell: decision period %d frames", p.DecisionPeriodFrames)
+	}
+	if p.HysteresisDB < 0 {
+		return fmt.Errorf("multicell: negative hysteresis")
+	}
+	if err := p.Channel.Validate(); err != nil {
+		return err
+	}
+	if err := p.PHY.Validate(); err != nil {
+		return err
+	}
+	if err := p.MAC.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// user is one nomadic terminal with a link to every cell.
+type user struct {
+	voice  *traffic.VoiceSource
+	data   *traffic.DataSource
+	clones []*mac.Station // one per cell; exactly one carries the sources
+	cell   int
+}
+
+// Deployment is a running multi-cell simulation.
+type Deployment struct {
+	p       Params
+	users   []*user
+	systems []*mac.System
+	protos  []mac.Protocol
+
+	handoffs uint64
+	now      sim.Time
+}
+
+// New assembles a deployment.
+func New(p Params) (*Deployment, error) {
+	if p.MAC.Geometry.FrameSymbols == 0 {
+		p.MAC = mac.DefaultConfig()
+	}
+	p.MAC.UseQueue = p.UseQueue
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Deployment{p: p}
+
+	n := p.NumVoice + p.NumData
+	// Build clones: cell-local station lists with dense local IDs.
+	cellStations := make([][]*mac.Station, p.Cells)
+	for k := 0; k < n; k++ {
+		u := &user{clones: make([]*mac.Station, p.Cells)}
+		if k < p.NumVoice {
+			u.voice = traffic.NewVoice(traffic.DefaultVoiceParams(),
+				rng.Derive(p.Seed, "mc-voice", fmt.Sprint(k)), 0)
+		} else {
+			u.data = traffic.NewData(traffic.DefaultDataParams(),
+				rng.Derive(p.Seed, "mc-data", fmt.Sprint(k)), 0)
+		}
+		bestCell, bestDB := 0, -1e18
+		for c := 0; c < p.Cells; c++ {
+			fad := channel.NewFading(p.Channel, rng.Derive(p.Seed, "mc-chan", fmt.Sprint(c), fmt.Sprint(k)))
+			st := &mac.Station{ID: k, Fading: fad}
+			u.clones[c] = st
+			cellStations[c] = append(cellStations[c], st)
+			if db := fad.LongTermDB(); db > bestDB {
+				bestCell, bestDB = c, db
+			}
+		}
+		u.cell = bestCell
+		d.attach(u, bestCell)
+		d.users = append(d.users, u)
+	}
+
+	for c := 0; c < p.Cells; c++ {
+		var modem phy.PHY
+		if core.AdaptivePHYFor(p.Protocol) {
+			modem = phy.NewAdaptive(p.PHY)
+		} else {
+			modem = phy.NewFixed(p.PHY)
+		}
+		sys, err := mac.NewSystem(p.MAC, modem, cellStations[c],
+			rng.Derive(p.Seed, "mc-mac", fmt.Sprint(c), p.Protocol))
+		if err != nil {
+			return nil, err
+		}
+		proto, err := core.NewProtocol(p.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		proto.Init(sys)
+		d.systems = append(d.systems, sys)
+		d.protos = append(d.protos, proto)
+	}
+	return d, nil
+}
+
+// attach points cell c's clone at the user's live traffic sources.
+func (d *Deployment) attach(u *user, c int) {
+	st := u.clones[c]
+	st.Voice = u.voice
+	st.Data = u.data
+	u.cell = c
+}
+
+// detach makes a clone inert and clears its MAC state in its cell.
+func (d *Deployment) detach(u *user, c int, sys *mac.System) {
+	st := u.clones[c]
+	st.Voice = nil
+	st.Data = nil
+	st.Reserved = false
+	st.PendingAtBS = false
+	if sys != nil {
+		// Purge any queued request referencing the departing station.
+		for i := 0; i < sys.QueueLen(); {
+			if sys.Queue()[i].St == st {
+				sys.PopQueueAt(i)
+				continue
+			}
+			i++
+		}
+	}
+}
+
+// Handoffs returns the number of executed handoffs.
+func (d *Deployment) Handoffs() uint64 { return d.handoffs }
+
+// decide re-evaluates every user's attachment.
+func (d *Deployment) decide() {
+	if d.p.DisableHandoff {
+		return
+	}
+	for _, u := range d.users {
+		curDB := u.clones[u.cell].Fading.LongTermDB()
+		best, bestDB := u.cell, curDB
+		for c, st := range u.clones {
+			if db := st.Fading.LongTermDB(); db > bestDB {
+				best, bestDB = c, db
+			}
+		}
+		if best != u.cell && bestDB-curDB >= d.p.HysteresisDB {
+			d.detach(u, u.cell, d.systems[u.cell])
+			d.attach(u, best)
+			d.handoffs++
+		}
+	}
+}
+
+// Result aggregates the per-cell measurement windows into deployment-wide
+// metrics plus the handoff count.
+type Result struct {
+	mac.Result
+	Handoffs uint64
+	PerCell  []mac.Result
+}
+
+// Run executes the deployment and returns aggregated metrics.
+func (d *Deployment) Run() (Result, error) {
+	frameDur := d.p.MAC.Geometry.Duration()
+	warmup := sim.FromSeconds(d.p.WarmupSec)
+	limit := warmup + sim.FromSeconds(d.p.DurationSec)
+	marked := false
+	frame := 0
+	for d.now < limit {
+		if !marked && d.now >= warmup {
+			for _, sys := range d.systems {
+				sys.M.Mark()
+			}
+			marked = true
+		}
+		if frame > 0 && frame%d.p.DecisionPeriodFrames == 0 {
+			d.decide()
+		}
+		for c, sys := range d.systems {
+			sys.BeginFrame()
+			dur := d.protos[c].RunFrame(sys)
+			if dur != frameDur {
+				return Result{}, fmt.Errorf("multicell: protocol %s produced a variable frame", d.protos[c].Name())
+			}
+			sys.EndFrame(dur)
+		}
+		d.now += frameDur
+		frame++
+	}
+
+	var agg Result
+	agg.Protocol = d.p.Protocol
+	agg.Handoffs = d.handoffs
+	var delaySum float64
+	for _, sys := range d.systems {
+		r := sys.M.Result(d.p.Protocol, d.p.MAC.Geometry.FrameSymbols)
+		agg.PerCell = append(agg.PerCell, r)
+		agg.Frames += r.Frames
+		agg.VoiceGenerated += r.VoiceGenerated
+		agg.VoiceDropped += r.VoiceDropped
+		agg.VoiceErrored += r.VoiceErrored
+		agg.VoiceDelivered += r.VoiceDelivered
+		agg.DataGenerated += r.DataGenerated
+		agg.DataDelivered += r.DataDelivered
+		agg.DataErrored += r.DataErrored
+		agg.ReqAttempts += r.ReqAttempts
+		agg.ReqCollisions += r.ReqCollisions
+		agg.ReqSuccesses += r.ReqSuccesses
+		delaySum += r.MeanDataDelaySec * float64(r.DataDelivered)
+	}
+	if agg.VoiceGenerated > 0 {
+		agg.VoiceLossRate = float64(agg.VoiceDropped+agg.VoiceErrored) / float64(agg.VoiceGenerated)
+		agg.VoiceDropRate = float64(agg.VoiceDropped) / float64(agg.VoiceGenerated)
+		agg.VoiceErrorRate = float64(agg.VoiceErrored) / float64(agg.VoiceGenerated)
+	}
+	if agg.Frames > 0 {
+		// Frames summed across cells; throughput is per cell-frame.
+		agg.DataThroughputPerFrame = float64(agg.DataDelivered) / (agg.Frames / float64(len(d.systems)))
+	}
+	if agg.DataDelivered > 0 {
+		agg.MeanDataDelaySec = delaySum / float64(agg.DataDelivered)
+	}
+	return agg, nil
+}
+
+// Run builds and runs a deployment in one call.
+func Run(p Params) (Result, error) {
+	d, err := New(p)
+	if err != nil {
+		return Result{}, err
+	}
+	return d.Run()
+}

@@ -1,0 +1,196 @@
+package multicell
+
+import (
+	"testing"
+
+	"charisma/internal/core"
+)
+
+func quickParams() Params {
+	p := DefaultParams()
+	p.NumVoice = 30
+	p.WarmupSec = 1
+	p.DurationSec = 6
+	return p
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Cells = 1
+	if p.Validate() == nil {
+		t.Fatal("single cell accepted")
+	}
+	p = DefaultParams()
+	p.Protocol = core.ProtoRMAV
+	if p.Validate() == nil {
+		t.Fatal("variable-frame protocol accepted")
+	}
+	p = DefaultParams()
+	p.NumVoice, p.NumData = 0, 0
+	if p.Validate() == nil {
+		t.Fatal("empty deployment accepted")
+	}
+	p = DefaultParams()
+	p.DecisionPeriodFrames = 0
+	if p.Validate() == nil {
+		t.Fatal("zero decision period accepted")
+	}
+}
+
+func TestRunProducesAggregateMetrics(t *testing.T) {
+	r, err := Run(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VoiceGenerated == 0 {
+		t.Fatal("no voice traffic")
+	}
+	if len(r.PerCell) != 2 {
+		t.Fatalf("%d per-cell results", len(r.PerCell))
+	}
+	var sum uint64
+	for _, c := range r.PerCell {
+		sum += c.VoiceGenerated
+	}
+	if sum != r.VoiceGenerated {
+		t.Fatal("aggregate does not equal per-cell sum")
+	}
+	if r.VoiceLossRate < 0 || r.VoiceLossRate > 1 {
+		t.Fatalf("loss %v out of range", r.VoiceLossRate)
+	}
+}
+
+func TestHandoffsHappen(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 10
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With 1 s shadow coherence and a 4 dB hysteresis over 11 s, users
+	// must have crossed cells.
+	if d.Handoffs() == 0 {
+		t.Fatal("no handoffs in 11 s of shadow evolution")
+	}
+}
+
+func TestDisableHandoffFreezesAttachment(t *testing.T) {
+	p := quickParams()
+	p.DisableHandoff = true
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Handoffs() != 0 {
+		t.Fatal("handoffs executed despite DisableHandoff")
+	}
+}
+
+// The channel-quality handoff rule is the point of the extension: it must
+// beat static attachment on voice loss under load.
+func TestHandoffBeatsStaticAttachment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(disable bool) float64 {
+		p := DefaultParams()
+		p.NumVoice = 160            // ~80 per cell: near single-cell capacity
+		p.Channel.ShadowSigmaDB = 8 // deep shadowing: stuck users suffer
+		p.WarmupSec = 1
+		p.DurationSec = 12
+		p.DisableHandoff = disable
+		r, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.VoiceLossRate
+	}
+	withHO := run(false)
+	static := run(true)
+	if withHO >= static {
+		t.Fatalf("handoff (%.4f) not better than static attachment (%.4f)", withHO, static)
+	}
+}
+
+func TestExactlyOneLiveCloneInvariant(t *testing.T) {
+	p := quickParams()
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func() {
+		for k, u := range d.users {
+			live := 0
+			for _, st := range u.clones {
+				if st.Voice != nil || st.Data != nil {
+					live++
+				}
+			}
+			if live != 1 {
+				t.Fatalf("user %d has %d live clones", k, live)
+			}
+		}
+	}
+	check()
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VoiceLossRate != b.VoiceLossRate || a.Handoffs != b.Handoffs {
+		t.Fatal("deployment not deterministic")
+	}
+}
+
+func TestWorksWithFixedPHYProtocol(t *testing.T) {
+	p := quickParams()
+	p.Protocol = core.ProtoDTDMAFR
+	r, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VoiceGenerated == 0 {
+		t.Fatal("no traffic under D-TDMA/FR cells")
+	}
+}
+
+func TestHysteresisDampensHandoffs(t *testing.T) {
+	run := func(hyst float64) uint64 {
+		p := quickParams()
+		p.HysteresisDB = hyst
+		d, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Handoffs()
+	}
+	loose, tight := run(0), run(10)
+	if tight >= loose {
+		t.Fatalf("hysteresis 10 dB (%d handoffs) not below 0 dB (%d)", tight, loose)
+	}
+}

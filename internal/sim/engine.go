@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is a callback executed when an event fires. It receives the
+// engine so it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier at the same timestamp run first (stable FIFO order), which keeps
+// simulations deterministic.
+type event struct {
+	at      Time
+	seq     uint64
+	handler Handler
+	index   int // heap index, maintained by eventQueue
+	dead    bool
+}
+
+// eventQueue is a binary min-heap of events ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Engine is a deterministic discrete-event simulation executive.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	events uint64 // total events executed
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.events }
+
+// Pending reports how many events are scheduled and not yet fired.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers h to run at absolute time at. Scheduling in the past
+// (before Now) is a programming error and panics: allowing it would silently
+// reorder causality.
+func (e *Engine) Schedule(at Time, h Handler) EventID {
+	if h == nil {
+		panic("sim: Schedule called with nil handler")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, handler: h}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// ScheduleAfter registers h to run delay ticks from now.
+func (e *Engine) ScheduleAfter(delay Time, h Handler) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: ScheduleAfter with negative delay %d", delay))
+	}
+	return e.Schedule(e.now+delay, h)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.dead || ev.index < 0 {
+		return false
+	}
+	ev.dead = true
+	return true
+}
+
+// Step fires the single earliest pending event. It reports false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.events++
+		ev.handler(e)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the clock would pass limit or the
+// queue drains. Events scheduled exactly at limit do fire.
+func (e *Engine) RunUntil(limit Time) {
+	for len(e.queue) > 0 {
+		// Peek without popping so an over-the-limit event stays queued.
+		next := e.queue[0]
+		if next.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > limit {
+			e.now = limit
+			return
+		}
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// Run drains the queue completely.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

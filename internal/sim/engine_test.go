@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if Second != 320000 {
+		t.Fatalf("Second = %d, want 320000 symbols", Second)
+	}
+	if Millisecond*1000 != Second {
+		t.Fatalf("Millisecond*1000 = %d, want %d", Millisecond*1000, Second)
+	}
+	if got := FromSeconds(2.5); got != 800000 {
+		t.Fatalf("FromSeconds(2.5) = %d, want 800000", got)
+	}
+	if got := FromMilliseconds(2.5); got != 800 {
+		t.Fatalf("FromMilliseconds(2.5) = %d, want 800 (one frame)", got)
+	}
+	if got := Time(800).Milliseconds(); got != 2.5 {
+		t.Fatalf("800 ticks = %vms, want 2.5ms", got)
+	}
+	if got := Time(320000).Seconds(); got != 1.0 {
+		t.Fatalf("320000 ticks = %vs, want 1s", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Time(800).String(); s != "2.500ms" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.Schedule(at, func(*Engine) { order = append(order, at) })
+	}
+	e.Run()
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Fatalf("events out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("executed %d events, want 5", len(order))
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestEngineStableFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(10, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineScheduleFromHandler(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var step Handler
+	step = func(eng *Engine) {
+		count++
+		if count < 10 {
+			eng.ScheduleAfter(5, step)
+		}
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("chained steps = %d, want 10", count)
+	}
+	if e.Now() != 45 {
+		t.Fatalf("clock = %v, want 45", e.Now())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(*Engine) {})
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.Schedule(0, nil)
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.ScheduleAfter(-1, func(*Engine) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(10, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(10, func(*Engine) {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func(*Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", e.Now())
+	}
+	e.RunUntil(40) // inclusive boundary
+	if len(fired) != 4 {
+		t.Fatalf("RunUntil(40) fired %d total events, want 4", len(fired))
+	}
+}
+
+func TestEngineRunUntilEmptyAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock = %v, want 1000", e.Now())
+	}
+}
+
+func TestEnginePendingAndExecuted(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(1, func(*Engine) {})
+	e.Schedule(2, func(*Engine) {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(id)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Executed() != 1 {
+		t.Fatalf("Executed = %d, want 1", e.Executed())
+	}
+}
+
+// Property: for any random schedule, events fire in non-decreasing time
+// order and every non-cancelled event fires exactly once.
+func TestEngineOrderingProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		total := int(n%64) + 1
+		fired := 0
+		last := Time(-1)
+		ok := true
+		for i := 0; i < total; i++ {
+			at := Time(r.Intn(1000))
+			e.Schedule(at, func(*Engine) {
+				fired++
+				if at < last {
+					ok = false
+				}
+				last = at
+			})
+		}
+		e.Run()
+		return ok && fired == total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Step and Schedule preserves causality (the clock
+// never runs backwards).
+func TestEngineClockMonotoneProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var step Handler
+		remaining := 100
+		step = func(eng *Engine) {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			eng.ScheduleAfter(Time(r.Intn(10)), step)
+		}
+		e.Schedule(0, step)
+		prev := Time(0)
+		for e.Step() {
+			if e.Now() < prev {
+				return false
+			}
+			prev = e.Now()
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

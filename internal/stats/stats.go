@@ -1,0 +1,283 @@
+// Package stats provides the measurement substrate for the simulation
+// platform: streaming mean/variance (Welford), rate counters, histograms
+// with quantile queries, and normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MeanVar accumulates a stream of observations and reports mean, variance
+// and standard error using Welford's numerically stable update.
+type MeanVar struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (m *MeanVar) Add(x float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = x, x
+	} else {
+		if x < m.min {
+			m.min = x
+		}
+		if x > m.max {
+			m.max = x
+		}
+	}
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// AddN records the same observation n times.
+func (m *MeanVar) AddN(x float64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.Add(x)
+	}
+}
+
+// Count returns the number of observations.
+func (m *MeanVar) Count() uint64 { return m.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (m *MeanVar) Mean() float64 { return m.mean }
+
+// Min returns the smallest observation (0 with no observations).
+func (m *MeanVar) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 with no observations).
+func (m *MeanVar) Max() float64 { return m.max }
+
+// Variance returns the unbiased sample variance.
+func (m *MeanVar) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *MeanVar) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (m *MeanVar) StdErr() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.StdDev() / math.Sqrt(float64(m.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (m *MeanVar) CI95() float64 { return 1.96 * m.StdErr() }
+
+// Merge folds another accumulator into this one (parallel reduction).
+func (m *MeanVar) Merge(o *MeanVar) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	n := m.n + o.n
+	delta := o.mean - m.mean
+	mean := m.mean + delta*float64(o.n)/float64(n)
+	m2 := m.m2 + o.m2 + delta*delta*float64(m.n)*float64(o.n)/float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n, m.mean, m.m2 = n, mean, m2
+}
+
+// Reset clears the accumulator.
+func (m *MeanVar) Reset() { *m = MeanVar{} }
+
+// String renders "mean ± ci95 (n=...)".
+func (m *MeanVar) String() string {
+	return fmt.Sprintf("%.6g ± %.2g (n=%d)", m.Mean(), m.CI95(), m.n)
+}
+
+// Counter is a simple monotone event counter with snapshot support so the
+// measurement window can exclude warm-up transients.
+type Counter struct {
+	total    uint64
+	snapshot uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.total++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.total += n }
+
+// Total returns the all-time count.
+func (c *Counter) Total() uint64 { return c.total }
+
+// Mark records the current total as the start of the measurement window.
+func (c *Counter) Mark() { c.snapshot = c.total }
+
+// Since returns the count accumulated after the last Mark.
+func (c *Counter) Since() uint64 { return c.total - c.snapshot }
+
+// Ratio returns a/b as a float, and 0 when b is zero.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Histogram is a fixed-width linear histogram over [lo, hi) with overflow
+// and underflow buckets, supporting approximate quantiles.
+type Histogram struct {
+	lo, hi   float64
+	width    float64
+	buckets  []uint64
+	under    uint64
+	over     uint64
+	count    uint64
+	sum      float64
+	exactMax float64
+}
+
+// NewHistogram creates a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]uint64, n)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	h.count++
+	h.sum += x
+	if x > h.exactMax {
+		h.exactMax = x
+	}
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact running mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() float64 { return h.exactMax }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) using linear
+// interpolation within the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	acc := float64(h.under)
+	if target <= acc {
+		return h.lo
+	}
+	for i, b := range h.buckets {
+		next := acc + float64(b)
+		if target <= next && b > 0 {
+			frac := (target - acc) / float64(b)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		acc = next
+	}
+	return h.exactMax
+}
+
+// Series is a labelled sequence of (x, y) points plus an optional error bar,
+// used by the experiment harness to emit figure data.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	Err   []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y, err float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Err = append(s.Err, err)
+}
+
+// CrossingX returns the interpolated x at which the series first crosses the
+// threshold level from below (or above, if descending is true). It returns
+// NaN if the series never crosses. This computes "capacity at the 1% packet
+// dropping threshold" style summaries from figure data.
+func (s *Series) CrossingX(level float64, descending bool) float64 {
+	for i := 1; i < len(s.X); i++ {
+		y0, y1 := s.Y[i-1], s.Y[i]
+		var crossed bool
+		if descending {
+			crossed = y0 >= level && y1 < level
+		} else {
+			crossed = y0 <= level && y1 > level
+		}
+		if crossed {
+			if y1 == y0 {
+				return s.X[i]
+			}
+			t := (level - y0) / (y1 - y0)
+			return s.X[i-1] + t*(s.X[i]-s.X[i-1])
+		}
+	}
+	return math.NaN()
+}
+
+// SortByX sorts the series points by ascending x.
+func (s *Series) SortByX() {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(idx))
+	y := make([]float64, len(idx))
+	e := make([]float64, len(idx))
+	for i, j := range idx {
+		x[i], y[i] = s.X[j], s.Y[j]
+		if j < len(s.Err) {
+			e[i] = s.Err[j]
+		}
+	}
+	s.X, s.Y, s.Err = x, y, e
+}

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarBasics(t *testing.T) {
+	var m MeanVar
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(x)
+	}
+	if m.Count() != 8 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	if math.Abs(m.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", m.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(m.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", m.Variance(), 32.0/7)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", m.Min(), m.Max())
+	}
+}
+
+func TestMeanVarEmpty(t *testing.T) {
+	var m MeanVar
+	if m.Mean() != 0 || m.Variance() != 0 || m.StdErr() != 0 || m.CI95() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestMeanVarSingle(t *testing.T) {
+	var m MeanVar
+	m.Add(3)
+	if m.Variance() != 0 {
+		t.Fatal("single sample variance should be 0")
+	}
+}
+
+func TestMeanVarAddN(t *testing.T) {
+	var a, b MeanVar
+	a.AddN(2.5, 10)
+	for i := 0; i < 10; i++ {
+		b.Add(2.5)
+	}
+	if a.Mean() != b.Mean() || a.Count() != b.Count() {
+		t.Fatal("AddN disagrees with repeated Add")
+	}
+}
+
+// Property: merging two accumulators equals accumulating the concatenation.
+func TestMeanVarMergeProperty(t *testing.T) {
+	prop := func(seed int64, nA, nB uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var a, b, all MeanVar
+		for i := 0; i < int(nA); i++ {
+			x := r.NormFloat64()
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nB); i++ {
+			x := r.NormFloat64() * 3
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanVarReset(t *testing.T) {
+	var m MeanVar
+	m.Add(1)
+	m.Reset()
+	if m.Count() != 0 || m.Mean() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestCounterMarkSince(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Mark()
+	c.Inc()
+	c.Add(4)
+	if c.Total() != 15 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if c.Since() != 5 {
+		t.Fatalf("since = %d, want 5 (warm-up excluded)", c.Since())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("Ratio with zero denominator should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("Ratio(3,4) != 0.75")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i % 100))
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median = %v, want ~50", med)
+	}
+	p95 := h.Quantile(0.95)
+	if p95 < 90 || p95 > 100 {
+		t.Fatalf("p95 = %v, want ~95", p95)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+}
+
+func TestHistogramOverUnderflow(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(-5)
+	h.Add(15)
+	h.Add(5)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 15 {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if math.Abs(h.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestSeriesCrossingAscending(t *testing.T) {
+	s := Series{Label: "x"}
+	s.Append(10, 0.001, 0)
+	s.Append(20, 0.005, 0)
+	s.Append(30, 0.02, 0)
+	x := s.CrossingX(0.01, false)
+	// Interpolating between (20, 0.005) and (30, 0.02): crossing at 23.33.
+	if math.Abs(x-23.333333) > 1e-3 {
+		t.Fatalf("crossing = %v, want 23.33", x)
+	}
+}
+
+func TestSeriesCrossingDescending(t *testing.T) {
+	s := Series{}
+	s.Append(0, 10, 0)
+	s.Append(1, 6, 0)
+	s.Append(2, 2, 0)
+	x := s.CrossingX(4, true)
+	if math.Abs(x-1.5) > 1e-9 {
+		t.Fatalf("descending crossing = %v, want 1.5", x)
+	}
+}
+
+func TestSeriesCrossingNone(t *testing.T) {
+	s := Series{}
+	s.Append(0, 1, 0)
+	s.Append(1, 2, 0)
+	if !math.IsNaN(s.CrossingX(10, false)) {
+		t.Fatal("expected NaN for no crossing")
+	}
+}
+
+func TestSeriesSortByX(t *testing.T) {
+	s := Series{}
+	s.Append(3, 30, 1)
+	s.Append(1, 10, 2)
+	s.Append(2, 20, 3)
+	s.SortByX()
+	if s.X[0] != 1 || s.X[1] != 2 || s.X[2] != 3 {
+		t.Fatalf("x not sorted: %v", s.X)
+	}
+	if s.Y[0] != 10 || s.Err[0] != 2 {
+		t.Fatal("y/err not carried with x")
+	}
+}

@@ -1,0 +1,198 @@
+// Package trace records per-transmission event logs from a running
+// scenario and computes the aggregate views the paper derives "by
+// examining the simulation traces" (§5.1): per-mode transmission
+// histograms, CSI-staleness error taxonomies, and per-station service
+// summaries. It piggybacks on the MAC's debug observer hook, so recording
+// does not perturb the simulation (observer randomness is never drawn).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"charisma/internal/mac"
+	"charisma/internal/phy"
+	"charisma/internal/sim"
+)
+
+// VoiceTx is one recorded voice transmission.
+type VoiceTx struct {
+	At      sim.Time
+	Station int
+	Mode    int
+	// EstAmp is the scheduler-side (staleness-discounted) amplitude the
+	// mode was chosen from; EstAge its age.
+	EstAmp float64
+	EstAge sim.Time
+	OK     int
+	Errs   int
+}
+
+// Recorder collects voice transmission events from a mac.System.
+type Recorder struct {
+	sys *mac.System
+	// Events holds the raw log in arrival order.
+	Events []VoiceTx
+	// Cap bounds memory; 0 means unlimited. When full, recording stops.
+	Cap int
+}
+
+// Attach installs the recorder on a system's debug hook and returns it.
+// Any previously installed hook is replaced.
+func Attach(sys *mac.System, cap int) *Recorder {
+	r := &Recorder{sys: sys, Cap: cap}
+	sys.DebugVoiceTx = func(st *mac.Station, m phy.Mode, estAmp float64, estAge sim.Time, ok, errs int) {
+		if r.Cap > 0 && len(r.Events) >= r.Cap {
+			return
+		}
+		r.Events = append(r.Events, VoiceTx{
+			At:      sys.Now(),
+			Station: st.ID,
+			Mode:    m.Index,
+			EstAmp:  estAmp,
+			EstAge:  estAge,
+			OK:      ok,
+			Errs:    errs,
+		})
+	}
+	return r
+}
+
+// Detach removes the recorder's hook.
+func (r *Recorder) Detach() {
+	if r.sys != nil && r.sys.DebugVoiceTx != nil {
+		r.sys.DebugVoiceTx = nil
+	}
+}
+
+// ModeHistogram counts transmitted packets per ABICM mode — the selection-
+// diversity fingerprint: CHARISMA's histogram leans toward high modes.
+func (r *Recorder) ModeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, e := range r.Events {
+		h[e.Mode] += e.OK + e.Errs
+	}
+	return h
+}
+
+// MeanMode returns the packet-weighted mean mode index.
+func (r *Recorder) MeanMode() float64 {
+	sum, n := 0, 0
+	for _, e := range r.Events {
+		k := e.OK + e.Errs
+		sum += e.Mode * k
+		n += k
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// AgeBucket classifies an estimate age against the frame duration.
+type AgeBucket int
+
+// Staleness buckets used by the error taxonomy.
+const (
+	AgeFresh AgeBucket = iota // within the 2-frame validity window
+	AgeAging                  // 3–8 frames (one voice period)
+	AgeStale                  // older
+)
+
+// String implements fmt.Stringer.
+func (b AgeBucket) String() string {
+	switch b {
+	case AgeFresh:
+		return "fresh(<=2f)"
+	case AgeAging:
+		return "aging(3-8f)"
+	default:
+		return "stale(>8f)"
+	}
+}
+
+func bucketOf(age, frame sim.Time) AgeBucket {
+	switch {
+	case age <= 2*frame:
+		return AgeFresh
+	case age <= 8*frame:
+		return AgeAging
+	default:
+		return AgeStale
+	}
+}
+
+// ErrorTaxonomy aggregates transmissions and errors by CSI staleness — the
+// diagnostic that drove this reproduction's CSI-refresh calibration.
+type ErrorTaxonomy struct {
+	Tx   map[AgeBucket]int
+	Errs map[AgeBucket]int
+}
+
+// Taxonomy computes the staleness taxonomy for a frame duration.
+func (r *Recorder) Taxonomy(frame sim.Time) ErrorTaxonomy {
+	t := ErrorTaxonomy{Tx: map[AgeBucket]int{}, Errs: map[AgeBucket]int{}}
+	for _, e := range r.Events {
+		b := bucketOf(e.EstAge, frame)
+		t.Tx[b] += e.OK + e.Errs
+		t.Errs[b] += e.Errs
+	}
+	return t
+}
+
+// StationSummary is one station's service record.
+type StationSummary struct {
+	Station  int
+	Packets  int
+	Errors   int
+	MeanMode float64
+}
+
+// PerStation returns per-station service summaries ordered by station ID.
+func (r *Recorder) PerStation() []StationSummary {
+	agg := map[int]*StationSummary{}
+	modeSum := map[int]int{}
+	for _, e := range r.Events {
+		s := agg[e.Station]
+		if s == nil {
+			s = &StationSummary{Station: e.Station}
+			agg[e.Station] = s
+		}
+		k := e.OK + e.Errs
+		s.Packets += k
+		s.Errors += e.Errs
+		modeSum[e.Station] += e.Mode * k
+	}
+	var out []StationSummary
+	for id, s := range agg {
+		if s.Packets > 0 {
+			s.MeanMode = float64(modeSum[id]) / float64(s.Packets)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Station < out[j].Station })
+	return out
+}
+
+// Render writes a human-readable trace digest.
+func (r *Recorder) Render(w io.Writer, frame sim.Time) {
+	fmt.Fprintf(w, "trace: %d voice transmissions, mean mode %.2f\n", len(r.Events), r.MeanMode())
+	hist := r.ModeHistogram()
+	var modes []int
+	for m := range hist {
+		modes = append(modes, m)
+	}
+	sort.Ints(modes)
+	for _, m := range modes {
+		fmt.Fprintf(w, "  mode %d: %6d packets\n", m, hist[m])
+	}
+	tax := r.Taxonomy(frame)
+	for _, b := range []AgeBucket{AgeFresh, AgeAging, AgeStale} {
+		if tax.Tx[b] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  CSI %-12s %6d tx, %5d errors (%.2f%%)\n",
+			b, tax.Tx[b], tax.Errs[b], 100*float64(tax.Errs[b])/float64(tax.Tx[b]))
+	}
+}

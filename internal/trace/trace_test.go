@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"charisma/internal/core"
+	"charisma/internal/mac"
+	"charisma/internal/sim"
+)
+
+func record(t *testing.T, nv int, frames int, cap int) (*Recorder, *mac.System) {
+	t.Helper()
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice = nv
+	sys, proto, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto.Init(sys)
+	r := Attach(sys, cap)
+	for i := 0; i < frames; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
+	return r, sys
+}
+
+func TestRecorderCapturesEvents(t *testing.T) {
+	r, _ := record(t, 20, 3000, 0)
+	if len(r.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for _, e := range r.Events {
+		if e.OK+e.Errs <= 0 {
+			t.Fatal("event without packets")
+		}
+		if e.Mode < 0 || e.Mode > 5 {
+			t.Fatalf("mode %d out of range", e.Mode)
+		}
+		if e.EstAge < 0 {
+			t.Fatal("negative estimate age")
+		}
+	}
+}
+
+func TestRecorderCap(t *testing.T) {
+	r, _ := record(t, 20, 3000, 10)
+	if len(r.Events) > 10 {
+		t.Fatalf("cap ignored: %d events", len(r.Events))
+	}
+}
+
+func TestModeHistogramConsistent(t *testing.T) {
+	r, _ := record(t, 20, 2000, 0)
+	total := 0
+	for _, n := range r.ModeHistogram() {
+		total += n
+	}
+	want := 0
+	for _, e := range r.Events {
+		want += e.OK + e.Errs
+	}
+	if total != want {
+		t.Fatalf("histogram total %d != event total %d", total, want)
+	}
+	mean := r.MeanMode()
+	if mean < 0 || mean > 5 {
+		t.Fatalf("mean mode %v out of range", mean)
+	}
+	// With CSI-aware scheduling the mean mode should sit well above the
+	// most robust mode.
+	if mean < 1 {
+		t.Fatalf("mean mode %v suspiciously low for CHARISMA", mean)
+	}
+}
+
+func TestTaxonomyPartitionsEvents(t *testing.T) {
+	r, sys := record(t, 40, 2000, 0)
+	tax := r.Taxonomy(sys.FrameDuration())
+	totalTx := 0
+	for _, n := range tax.Tx {
+		totalTx += n
+	}
+	want := 0
+	for _, e := range r.Events {
+		want += e.OK + e.Errs
+	}
+	if totalTx != want {
+		t.Fatalf("taxonomy total %d != %d", totalTx, want)
+	}
+	for b, errs := range tax.Errs {
+		if errs > tax.Tx[b] {
+			t.Fatalf("bucket %v has more errors than transmissions", b)
+		}
+	}
+}
+
+func TestAgeBucketString(t *testing.T) {
+	for _, b := range []AgeBucket{AgeFresh, AgeAging, AgeStale} {
+		if b.String() == "" {
+			t.Fatal("empty bucket name")
+		}
+	}
+}
+
+func TestPerStationSummaries(t *testing.T) {
+	r, _ := record(t, 15, 3000, 0)
+	sums := r.PerStation()
+	if len(sums) == 0 {
+		t.Fatal("no station summaries")
+	}
+	prev := -1
+	for _, s := range sums {
+		if s.Station <= prev {
+			t.Fatal("summaries not ordered by station")
+		}
+		prev = s.Station
+		if s.Packets <= 0 || s.Errors > s.Packets {
+			t.Fatalf("inconsistent summary %+v", s)
+		}
+		if s.MeanMode < 0 || s.MeanMode > 5 {
+			t.Fatalf("mean mode %v", s.MeanMode)
+		}
+	}
+}
+
+func TestRenderDigest(t *testing.T) {
+	r, sys := record(t, 20, 1500, 0)
+	var sb strings.Builder
+	r.Render(&sb, sys.FrameDuration())
+	out := sb.String()
+	if !strings.Contains(out, "voice transmissions") || !strings.Contains(out, "mode") {
+		t.Fatalf("digest incomplete:\n%s", out)
+	}
+}
+
+func TestDetachStopsRecording(t *testing.T) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice = 10
+	sys, proto, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto.Init(sys)
+	r := Attach(sys, 0)
+	for i := 0; i < 500; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
+	n := len(r.Events)
+	r.Detach()
+	for i := 0; i < 500; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
+	if len(r.Events) != n {
+		t.Fatal("events recorded after Detach")
+	}
+}
+
+func TestRecordingDoesNotPerturbResults(t *testing.T) {
+	run := func(attach bool) mac.Result {
+		sc := core.DefaultScenario(core.ProtoCharisma)
+		sc.NumVoice = 25
+		sys, proto, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto.Init(sys)
+		if attach {
+			Attach(sys, 0)
+		}
+		for i := 0; i < 2000; i++ {
+			sys.BeginFrame()
+			sys.EndFrame(proto.RunFrame(sys))
+		}
+		return sys.M.Result("charisma", sys.Cfg.Geometry.FrameSymbols)
+	}
+	if run(true) != run(false) {
+		t.Fatal("tracing changed simulation results")
+	}
+}
+
+var _ = sim.Second

@@ -1,0 +1,346 @@
+// Package wire implements the over-the-air control packet formats of the
+// CHARISMA protocol (paper Figs. 9 and 10):
+//
+//   - the request packet a mobile device sends in a contention minislot
+//     (device ID, service type, packet deadline, number of packets desired,
+//     pilot symbol marker — Fig. 9a),
+//   - the acknowledgment packet the base station broadcasts after each
+//     request slot (the successful request's ID),
+//   - the announcement packet carrying the frame's time-slot allocation
+//     schedule and transmission modes (Fig. 9b), and
+//   - the CSI-polling packet listing the short-listed backlog devices that
+//     must transmit pilots, in order (Fig. 10b).
+//
+// Encodings are fixed-layout big-endian so a packet's air time maps
+// directly to the minislot budget: a request packet must fit the 16-symbol
+// minislot at the most robust mode (16 symbols x 1/2 bit = 8 bits of
+// payload would be too tight, so control packets are specified at the η=1
+// control rate: 16 bits per minislot, matching classic control-channel
+// design). The codecs are exercised by the MAC tests and available to
+// tooling that wants to inspect simulated frames.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Control-channel geometry: control packets are sent at the fixed η=1
+// control rate, so one 16-symbol minislot carries 16 bits.
+const (
+	// RequestPacketBits is the air size of a request packet (Fig. 9a):
+	// 10-bit device ID, 1-bit service type, 5-bit deadline, plus a
+	// 16-bit extension carrying the packet count and pilot marker.
+	RequestPacketBits = 32
+	// AckPacketBits carries the winning device ID plus flags.
+	AckPacketBits = 16
+	// MaxDeadlineFrames is the widest deadline the 5-bit field encodes.
+	MaxDeadlineFrames = 31
+	// MaxRequestPackets is the widest packet count the 10-bit field
+	// encodes; larger backlogs saturate the field (the BS learns the
+	// rest from subsequent requests).
+	MaxRequestPackets = 1023
+	// MaxDeviceID is the widest device ID (10 bits, ~1000 devices per
+	// cell as the paper's population sweeps require).
+	MaxDeviceID = 1023
+)
+
+// ServiceType is the request's service class bit.
+type ServiceType uint8
+
+// The two service classes.
+const (
+	ServiceVoice ServiceType = 0
+	ServiceData  ServiceType = 1
+)
+
+// String implements fmt.Stringer.
+func (s ServiceType) String() string {
+	if s == ServiceVoice {
+		return "voice"
+	}
+	return "data"
+}
+
+// Request is the decoded contention request packet (Fig. 9a).
+type Request struct {
+	// DeviceID identifies the mobile device (10 bits).
+	DeviceID uint16
+	// Service is the request class (1 bit).
+	Service ServiceType
+	// DeadlineFrames is the frames remaining until the oldest packet's
+	// deadline (5 bits, voice only; saturating).
+	DeadlineFrames uint8
+	// NumPackets is the number of information packets desired (10 bits,
+	// saturating).
+	NumPackets uint16
+	// Pilot marks that pilot symbols follow the header (always set by
+	// conforming devices; the BS uses them for CSI estimation).
+	Pilot bool
+}
+
+// errTruncated reports a packet shorter than its fixed layout.
+var errTruncated = errors.New("wire: truncated packet")
+
+// EncodeRequest packs a request into its 4-byte air format.
+// Layout (big-endian, 32 bits):
+//
+//	bits 31..22  device ID (10)
+//	bit  21      service type (0 voice, 1 data)
+//	bits 20..16  deadline frames (5, saturating)
+//	bit  15      pilot marker
+//	bits 14..10  reserved (0)
+//	bits  9..0   packet count (10, saturating)
+func EncodeRequest(r Request) ([]byte, error) {
+	if r.DeviceID > MaxDeviceID {
+		return nil, fmt.Errorf("wire: device ID %d exceeds %d", r.DeviceID, MaxDeviceID)
+	}
+	deadline := uint32(r.DeadlineFrames)
+	if deadline > MaxDeadlineFrames {
+		deadline = MaxDeadlineFrames
+	}
+	pkts := uint32(r.NumPackets)
+	if pkts > MaxRequestPackets {
+		pkts = MaxRequestPackets
+	}
+	var word uint32
+	word |= uint32(r.DeviceID) << 22
+	word |= uint32(r.Service&1) << 21
+	word |= deadline << 16
+	if r.Pilot {
+		word |= 1 << 15
+	}
+	word |= pkts
+	buf := make([]byte, 4)
+	binary.BigEndian.PutUint32(buf, word)
+	return buf, nil
+}
+
+// DecodeRequest unpacks a request packet.
+func DecodeRequest(buf []byte) (Request, error) {
+	if len(buf) < 4 {
+		return Request{}, errTruncated
+	}
+	word := binary.BigEndian.Uint32(buf)
+	if word&(0x1f<<10) != 0 {
+		return Request{}, errors.New("wire: reserved request bits set")
+	}
+	return Request{
+		DeviceID:       uint16(word >> 22),
+		Service:        ServiceType((word >> 21) & 1),
+		DeadlineFrames: uint8((word >> 16) & 0x1f),
+		Pilot:          word&(1<<15) != 0,
+		NumPackets:     uint16(word & 0x3ff),
+	}, nil
+}
+
+// Ack is the per-minislot acknowledgment broadcast (the successful request
+// packet's ID, §4.3).
+type Ack struct {
+	// DeviceID is the winner; Collision marks a garbled slot (no winner).
+	DeviceID  uint16
+	Collision bool
+	// Idle marks a minislot in which nothing was transmitted.
+	Idle bool
+}
+
+// EncodeAck packs an acknowledgment into 2 bytes:
+//
+//	bits 15..6  device ID (10)
+//	bit   5     collision
+//	bit   4     idle
+//	bits  3..0  reserved
+func EncodeAck(a Ack) ([]byte, error) {
+	if a.DeviceID > MaxDeviceID {
+		return nil, fmt.Errorf("wire: device ID %d exceeds %d", a.DeviceID, MaxDeviceID)
+	}
+	if a.Collision && a.Idle {
+		return nil, errors.New("wire: ack cannot be both collision and idle")
+	}
+	var word uint16
+	word |= a.DeviceID << 6
+	if a.Collision {
+		word |= 1 << 5
+	}
+	if a.Idle {
+		word |= 1 << 4
+	}
+	buf := make([]byte, 2)
+	binary.BigEndian.PutUint16(buf, word)
+	return buf, nil
+}
+
+// DecodeAck unpacks an acknowledgment.
+func DecodeAck(buf []byte) (Ack, error) {
+	if len(buf) < 2 {
+		return Ack{}, errTruncated
+	}
+	word := binary.BigEndian.Uint16(buf)
+	if word&0xf != 0 {
+		return Ack{}, errors.New("wire: reserved ack bits set")
+	}
+	a := Ack{
+		DeviceID:  word >> 6,
+		Collision: word&(1<<5) != 0,
+		Idle:      word&(1<<4) != 0,
+	}
+	if a.Collision && a.Idle {
+		return Ack{}, errors.New("wire: ack flags conflict")
+	}
+	return a, nil
+}
+
+// Grant is one entry of the announcement schedule (Fig. 9b): which device
+// transmits, where in the information subframe, for how many packets, and
+// in which ABICM mode.
+type Grant struct {
+	DeviceID uint16
+	// StartSymbol is the offset of the allocation inside the information
+	// subframe (0..1023).
+	StartSymbol uint16
+	// NumPackets is the packet count of the allocation (saturating 10
+	// bits).
+	NumPackets uint16
+	// Mode is the announced ABICM transmission mode (0..7).
+	Mode uint8
+}
+
+// Announcement is the downlink allocation schedule packet (Fig. 9b).
+type Announcement struct {
+	// FrameIndex is a truncated frame counter for synchronization
+	// checks (16 bits).
+	FrameIndex uint16
+	Grants     []Grant
+}
+
+// MaxGrantsPerAnnouncement bounds the schedule length: more grants than
+// half-packet opportunities in the information subframe is impossible.
+const MaxGrantsPerAnnouncement = 40
+
+// EncodeAnnouncement packs the schedule:
+//
+//	bytes 0..1  frame index
+//	byte  2     grant count
+//	then per grant 6 bytes:
+//	  bits 47..38 device ID (10)
+//	  bits 37..28 start symbol (10)
+//	  bits 27..18 packet count (10)
+//	  bits 17..15 mode (3)
+//	  bits 14..0  reserved
+func EncodeAnnouncement(a Announcement) ([]byte, error) {
+	if len(a.Grants) > MaxGrantsPerAnnouncement {
+		return nil, fmt.Errorf("wire: %d grants exceed %d", len(a.Grants), MaxGrantsPerAnnouncement)
+	}
+	buf := make([]byte, 3, 3+6*len(a.Grants))
+	binary.BigEndian.PutUint16(buf[0:2], a.FrameIndex)
+	buf[2] = byte(len(a.Grants))
+	for _, g := range a.Grants {
+		if g.DeviceID > MaxDeviceID {
+			return nil, fmt.Errorf("wire: device ID %d exceeds %d", g.DeviceID, MaxDeviceID)
+		}
+		if g.StartSymbol > 1023 {
+			return nil, fmt.Errorf("wire: start symbol %d exceeds 1023", g.StartSymbol)
+		}
+		if g.Mode > 7 {
+			return nil, fmt.Errorf("wire: mode %d exceeds 7", g.Mode)
+		}
+		pkts := g.NumPackets
+		if pkts > MaxRequestPackets {
+			pkts = MaxRequestPackets
+		}
+		var word uint64
+		word |= uint64(g.DeviceID) << 38
+		word |= uint64(g.StartSymbol) << 28
+		word |= uint64(pkts) << 18
+		word |= uint64(g.Mode) << 15
+		var six [8]byte
+		binary.BigEndian.PutUint64(six[:], word<<16) // left-align 48 bits
+		buf = append(buf, six[0:6]...)
+	}
+	return buf, nil
+}
+
+// DecodeAnnouncement unpacks a schedule packet.
+func DecodeAnnouncement(buf []byte) (Announcement, error) {
+	if len(buf) < 3 {
+		return Announcement{}, errTruncated
+	}
+	a := Announcement{FrameIndex: binary.BigEndian.Uint16(buf[0:2])}
+	n := int(buf[2])
+	if n > MaxGrantsPerAnnouncement {
+		return Announcement{}, fmt.Errorf("wire: %d grants exceed %d", n, MaxGrantsPerAnnouncement)
+	}
+	if len(buf) < 3+6*n {
+		return Announcement{}, errTruncated
+	}
+	for i := 0; i < n; i++ {
+		var eight [8]byte
+		copy(eight[0:6], buf[3+6*i:3+6*i+6])
+		word := binary.BigEndian.Uint64(eight[:]) >> 16
+		g := Grant{
+			DeviceID:    uint16(word >> 38),
+			StartSymbol: uint16((word >> 28) & 0x3ff),
+			NumPackets:  uint16((word >> 18) & 0x3ff),
+			Mode:        uint8((word >> 15) & 0x7),
+		}
+		if word&0x7fff != 0 {
+			return Announcement{}, errors.New("wire: reserved grant bits set")
+		}
+		a.Grants = append(a.Grants, g)
+	}
+	return a, nil
+}
+
+// CSIPoll is the downlink polling packet (Fig. 10b): the short-listed
+// backlog devices transmit pilot symbols in the listed order.
+type CSIPoll struct {
+	FrameIndex uint16
+	DeviceIDs  []uint16
+}
+
+// MaxPollEntries bounds the poll list to the pilot subframe size family.
+const MaxPollEntries = 15
+
+// EncodeCSIPoll packs a polling packet: 2-byte frame index, 1-byte count,
+// then 2 bytes per device ID.
+func EncodeCSIPoll(p CSIPoll) ([]byte, error) {
+	if len(p.DeviceIDs) > MaxPollEntries {
+		return nil, fmt.Errorf("wire: %d poll entries exceed %d", len(p.DeviceIDs), MaxPollEntries)
+	}
+	buf := make([]byte, 3, 3+2*len(p.DeviceIDs))
+	binary.BigEndian.PutUint16(buf[0:2], p.FrameIndex)
+	buf[2] = byte(len(p.DeviceIDs))
+	for _, id := range p.DeviceIDs {
+		if id > MaxDeviceID {
+			return nil, fmt.Errorf("wire: device ID %d exceeds %d", id, MaxDeviceID)
+		}
+		var two [2]byte
+		binary.BigEndian.PutUint16(two[:], id)
+		buf = append(buf, two[:]...)
+	}
+	return buf, nil
+}
+
+// DecodeCSIPoll unpacks a polling packet.
+func DecodeCSIPoll(buf []byte) (CSIPoll, error) {
+	if len(buf) < 3 {
+		return CSIPoll{}, errTruncated
+	}
+	p := CSIPoll{FrameIndex: binary.BigEndian.Uint16(buf[0:2])}
+	n := int(buf[2])
+	if n > MaxPollEntries {
+		return CSIPoll{}, fmt.Errorf("wire: %d poll entries exceed %d", n, MaxPollEntries)
+	}
+	if len(buf) < 3+2*n {
+		return CSIPoll{}, errTruncated
+	}
+	for i := 0; i < n; i++ {
+		id := binary.BigEndian.Uint16(buf[3+2*i : 5+2*i])
+		if id > MaxDeviceID {
+			return CSIPoll{}, fmt.Errorf("wire: device ID %d exceeds %d", id, MaxDeviceID)
+		}
+		p.DeviceIDs = append(p.DeviceIDs, id)
+	}
+	return p, nil
+}

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestServiceTypeString(t *testing.T) {
+	if ServiceVoice.String() != "voice" || ServiceData.String() != "data" {
+		t.Fatal("service strings wrong")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := Request{DeviceID: 513, Service: ServiceData, DeadlineFrames: 7, NumPackets: 99, Pilot: true}
+	buf, err := EncodeRequest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf)*8 != RequestPacketBits {
+		t.Fatalf("request packet = %d bits, want %d", len(buf)*8, RequestPacketBits)
+	}
+	out, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+// Property: every valid request survives an encode/decode round trip with
+// field saturation applied.
+func TestRequestRoundTripProperty(t *testing.T) {
+	prop := func(id uint16, svc bool, deadline uint8, pkts uint16, pilot bool) bool {
+		in := Request{
+			DeviceID:       id % (MaxDeviceID + 1),
+			DeadlineFrames: deadline,
+			NumPackets:     pkts,
+			Pilot:          pilot,
+		}
+		if svc {
+			in.Service = ServiceData
+		}
+		buf, err := EncodeRequest(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeRequest(buf)
+		if err != nil {
+			return false
+		}
+		want := in
+		if want.DeadlineFrames > MaxDeadlineFrames {
+			want.DeadlineFrames = MaxDeadlineFrames
+		}
+		if want.NumPackets > MaxRequestPackets {
+			want.NumPackets = MaxRequestPackets
+		}
+		return out == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestRejectsOversizedID(t *testing.T) {
+	if _, err := EncodeRequest(Request{DeviceID: MaxDeviceID + 1}); err == nil {
+		t.Fatal("oversized device ID accepted")
+	}
+}
+
+func TestRequestDecodeErrors(t *testing.T) {
+	if _, err := DecodeRequest([]byte{1, 2}); err == nil {
+		t.Fatal("truncated packet accepted")
+	}
+	// Reserved bits set.
+	buf, _ := EncodeRequest(Request{DeviceID: 1})
+	buf[2] |= 0x10 // bit 12 is reserved
+	if _, err := DecodeRequest(buf); err == nil {
+		t.Fatal("reserved bits accepted")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, in := range []Ack{
+		{DeviceID: 0},
+		{DeviceID: 1023},
+		{Collision: true},
+		{Idle: true},
+	} {
+		buf, err := EncodeAck(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(buf)*8 != AckPacketBits {
+			t.Fatalf("ack packet = %d bits", len(buf)*8)
+		}
+		out, err := DecodeAck(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	}
+}
+
+func TestAckRejectsConflicts(t *testing.T) {
+	if _, err := EncodeAck(Ack{Collision: true, Idle: true}); err == nil {
+		t.Fatal("conflicting flags accepted")
+	}
+	if _, err := EncodeAck(Ack{DeviceID: 2000}); err == nil {
+		t.Fatal("oversized device ID accepted")
+	}
+	if _, err := DecodeAck([]byte{0}); err == nil {
+		t.Fatal("truncated ack accepted")
+	}
+	buf, _ := EncodeAck(Ack{DeviceID: 3})
+	buf[1] |= 0x01 // reserved bit
+	if _, err := DecodeAck(buf); err == nil {
+		t.Fatal("reserved ack bits accepted")
+	}
+}
+
+func TestAnnouncementRoundTrip(t *testing.T) {
+	in := Announcement{
+		FrameIndex: 4242,
+		Grants: []Grant{
+			{DeviceID: 7, StartSymbol: 0, NumPackets: 1, Mode: 3},
+			{DeviceID: 900, StartSymbol: 160, NumPackets: 12, Mode: 5},
+			{DeviceID: 55, StartSymbol: 600, NumPackets: 1023, Mode: 0},
+		},
+	}
+	buf, err := EncodeAnnouncement(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAnnouncement(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FrameIndex != in.FrameIndex || len(out.Grants) != len(in.Grants) {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	for i := range in.Grants {
+		if out.Grants[i] != in.Grants[i] {
+			t.Fatalf("grant %d: %+v != %+v", i, out.Grants[i], in.Grants[i])
+		}
+	}
+}
+
+func TestAnnouncementEmpty(t *testing.T) {
+	buf, err := EncodeAnnouncement(Announcement{FrameIndex: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeAnnouncement(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Grants) != 0 || out.FrameIndex != 1 {
+		t.Fatalf("empty announcement mangled: %+v", out)
+	}
+}
+
+func TestAnnouncementRoundTripProperty(t *testing.T) {
+	prop := func(frame uint16, ids []uint16) bool {
+		if len(ids) > MaxGrantsPerAnnouncement {
+			ids = ids[:MaxGrantsPerAnnouncement]
+		}
+		in := Announcement{FrameIndex: frame}
+		for i, id := range ids {
+			in.Grants = append(in.Grants, Grant{
+				DeviceID:    id % (MaxDeviceID + 1),
+				StartSymbol: uint16(i*16) % 1024,
+				NumPackets:  uint16(i) % (MaxRequestPackets + 1),
+				Mode:        uint8(i % 6),
+			})
+		}
+		buf, err := EncodeAnnouncement(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeAnnouncement(buf)
+		if err != nil {
+			return false
+		}
+		if out.FrameIndex != in.FrameIndex || len(out.Grants) != len(in.Grants) {
+			return false
+		}
+		for i := range in.Grants {
+			if out.Grants[i] != in.Grants[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnnouncementValidation(t *testing.T) {
+	tooMany := Announcement{Grants: make([]Grant, MaxGrantsPerAnnouncement+1)}
+	if _, err := EncodeAnnouncement(tooMany); err == nil {
+		t.Fatal("oversized schedule accepted")
+	}
+	if _, err := EncodeAnnouncement(Announcement{Grants: []Grant{{DeviceID: 5000}}}); err == nil {
+		t.Fatal("oversized device ID accepted")
+	}
+	if _, err := EncodeAnnouncement(Announcement{Grants: []Grant{{StartSymbol: 2000}}}); err == nil {
+		t.Fatal("oversized start symbol accepted")
+	}
+	if _, err := EncodeAnnouncement(Announcement{Grants: []Grant{{Mode: 9}}}); err == nil {
+		t.Fatal("oversized mode accepted")
+	}
+	if _, err := DecodeAnnouncement([]byte{0}); err == nil {
+		t.Fatal("truncated announcement accepted")
+	}
+	// Count byte promises more grants than the buffer holds.
+	buf, _ := EncodeAnnouncement(Announcement{Grants: []Grant{{DeviceID: 1}}})
+	buf[2] = 5
+	if _, err := DecodeAnnouncement(buf); err == nil {
+		t.Fatal("short grant list accepted")
+	}
+}
+
+func TestCSIPollRoundTrip(t *testing.T) {
+	in := CSIPoll{FrameIndex: 77, DeviceIDs: []uint16{3, 500, 1023}}
+	buf, err := EncodeCSIPoll(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeCSIPoll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FrameIndex != 77 || len(out.DeviceIDs) != 3 {
+		t.Fatalf("poll mangled: %+v", out)
+	}
+	for i := range in.DeviceIDs {
+		if out.DeviceIDs[i] != in.DeviceIDs[i] {
+			t.Fatal("poll order not preserved (the paper's pilots are ordered)")
+		}
+	}
+}
+
+func TestCSIPollValidation(t *testing.T) {
+	long := CSIPoll{DeviceIDs: make([]uint16, MaxPollEntries+1)}
+	if _, err := EncodeCSIPoll(long); err == nil {
+		t.Fatal("oversized poll accepted")
+	}
+	if _, err := EncodeCSIPoll(CSIPoll{DeviceIDs: []uint16{5000}}); err == nil {
+		t.Fatal("oversized device ID accepted")
+	}
+	if _, err := DecodeCSIPoll([]byte{1}); err == nil {
+		t.Fatal("truncated poll accepted")
+	}
+	buf, _ := EncodeCSIPoll(CSIPoll{DeviceIDs: []uint16{1, 2}})
+	buf[2] = 9
+	if _, err := DecodeCSIPoll(buf); err == nil {
+		t.Fatal("short poll list accepted")
+	}
+}
+
+func TestCSIPollEmpty(t *testing.T) {
+	buf, err := EncodeCSIPoll(CSIPoll{FrameIndex: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeCSIPoll(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.DeviceIDs) != 0 {
+		t.Fatal("phantom poll entries")
+	}
+}
