@@ -10,6 +10,7 @@
 package charisma
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"charisma/internal/mac"
 	"charisma/internal/phy"
 	"charisma/internal/rng"
+	"charisma/internal/run"
 	"charisma/internal/sim"
 )
 
@@ -335,6 +337,87 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 			e.Schedule(sim.Time(j%97), func(*sim.Engine) {})
 		}
 		e.Run()
+	}
+}
+
+// BenchmarkEngineSchedule measures the steady-state schedule/fire cycle on
+// one long-lived engine — the regime every simulation run is in after its
+// first frame. The index-arena engine must report 0 allocs/op here; the
+// old container/heap engine paid one event allocation per Schedule.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	h := func(*sim.Engine) {}
+	// Grow arena and heap to their high-water mark before timing.
+	for j := 0; j < 1000; j++ {
+		e.Schedule(e.Now()+sim.Time(j%97), h)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 1000; j++ {
+			e.Schedule(e.Now()+sim.Time(j%97), h)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineScheduleEvery measures the recurring frame driver: one
+// event slot re-armed per tick, the pattern Scenario.Run uses for the
+// TDMA cadence.
+func BenchmarkEngineScheduleEvery(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		e.ScheduleEvery(e.Now(), func(*sim.Engine) sim.Time {
+			n++
+			if n >= 1000 {
+				return -1
+			}
+			return 800
+		})
+		e.Run()
+	}
+}
+
+// BenchmarkScenarioRun tracks the end-to-end allocation footprint of a
+// complete (short) scenario run — the unit the replication runner fans
+// out by the thousand.
+func BenchmarkScenarioRun(b *testing.B) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice, sc.NumData = 30, 5
+	sc.WarmupSec, sc.DurationSec = 0.25, 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicatedSweep exercises the replication-aware runner the way
+// the figure sweeps use it: protocols × loads × replications as one flat
+// concurrent plan.
+func BenchmarkReplicatedSweep(b *testing.B) {
+	var scs []core.Scenario
+	for _, p := range []string{core.ProtoCharisma, core.ProtoDTDMAFR} {
+		for _, nv := range []int{20, 40} {
+			sc := core.DefaultScenario(p)
+			sc.NumVoice = nv
+			sc.WarmupSec, sc.DurationSec = 0.25, 1
+			scs = append(scs, sc)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := run.Replicated(context.Background(), scs, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*rs[0].VoiceLossRate, "charisma-loss-%")
 	}
 }
 

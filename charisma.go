@@ -25,11 +25,13 @@
 package charisma
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"charisma/internal/core"
 	"charisma/internal/mac"
+	"charisma/internal/run"
 	"charisma/internal/sim"
 )
 
@@ -79,6 +81,12 @@ type Options struct {
 	// Seed makes the run reproducible (default 1). All protocols see
 	// identical channel and traffic realizations for equal seeds.
 	Seed int64
+	// Replications is the number of independent replications pooled into
+	// the result (default 1). Replication 0 runs the base seed — so one
+	// replication reproduces the unreplicated run exactly — and each
+	// further replication derives its own seed substream. With N ≥ 2 the
+	// result's CI95 fields report across-replication Student-t intervals.
+	Replications int
 	// Warmup is excluded from metrics (default 2 s); Duration is the
 	// measurement window (default 30 s).
 	Warmup   time.Duration
@@ -127,6 +135,16 @@ type Result struct {
 	// subframe.
 	CollisionRate   float64
 	InfoUtilization float64
+
+	// Replications is the number of independent replications pooled into
+	// this result (1 unless Options.Replications asked for more).
+	Replications int
+	// VoiceLossCI95, DataThroughputCI95 and MeanDataDelayCI95 are
+	// across-replication Student-t 95% confidence half-widths; all zero
+	// for a single replication.
+	VoiceLossCI95      float64
+	DataThroughputCI95 float64
+	MeanDataDelayCI95  time.Duration
 }
 
 func fromInternal(r mac.Result) Result {
@@ -144,6 +162,10 @@ func fromInternal(r mac.Result) Result {
 		DataDelivered:          r.DataDelivered,
 		CollisionRate:          r.CollisionRate,
 		InfoUtilization:        r.InfoUtilization,
+		Replications:           r.Reps.Replications,
+		VoiceLossCI95:          r.Reps.VoiceLossCI95,
+		DataThroughputCI95:     r.Reps.DataThroughputCI95,
+		MeanDataDelayCI95:      time.Duration(r.Reps.DataDelayCI95 * float64(time.Second)),
 	}
 }
 
@@ -180,23 +202,37 @@ func (o Options) scenario() (core.Scenario, error) {
 	return sc, nil
 }
 
-// Run executes one simulation and returns its metrics.
+// Run executes one simulation — replicated across cores when
+// Options.Replications asks for more than one run — and returns its
+// (pooled) metrics.
 func Run(o Options) (Result, error) {
+	return RunContext(context.Background(), o)
+}
+
+// RunContext is Run with cancellation: a cancelled context stops pending
+// replications and returns the context's error.
+func RunContext(ctx context.Context, o Options) (Result, error) {
 	sc, err := o.scenario()
 	if err != nil {
 		return Result{}, err
 	}
-	r, err := sc.Run()
+	rs, err := run.Replicated(ctx, []core.Scenario{sc}, o.Replications)
 	if err != nil {
 		return Result{}, err
 	}
-	return fromInternal(r), nil
+	return fromInternal(rs[0]), nil
 }
 
 // Compare runs the same cell configuration under several protocols (all of
 // them when none are named) in parallel, against identical channel and
-// traffic realizations, and returns results in argument order.
+// traffic realizations — replication i of every protocol shares one sample
+// path — and returns results in argument order.
 func Compare(o Options, protocols ...Protocol) ([]Result, error) {
+	return CompareContext(context.Background(), o, protocols...)
+}
+
+// CompareContext is Compare with cancellation.
+func CompareContext(ctx context.Context, o Options, protocols ...Protocol) ([]Result, error) {
 	if len(protocols) == 0 {
 		protocols = AllProtocols()
 	}
@@ -210,7 +246,7 @@ func Compare(o Options, protocols ...Protocol) ([]Result, error) {
 		}
 		scs[i] = sc
 	}
-	rs, err := core.RunMany(scs)
+	rs, err := run.Replicated(ctx, scs, o.Replications)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package charisma
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 )
@@ -249,5 +251,81 @@ func TestFairnessExtensionRuns(t *testing.T) {
 	}
 	if r.VoiceGenerated == 0 {
 		t.Fatal("no traffic under fairness extension")
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	o := quickOpts(ProtocolCHARISMA)
+	o.Replications = 4
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replications != 4 {
+		t.Fatalf("Replications = %d, want 4", res.Replications)
+	}
+	if res.VoiceLossCI95 <= 0 {
+		t.Fatalf("VoiceLossCI95 = %v, want > 0 across independent reps", res.VoiceLossCI95)
+	}
+	// Pooled window must cover ~4x the single-run frames.
+	single, err := Run(quickOpts(ProtocolCHARISMA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Replications != 1 || single.VoiceLossCI95 != 0 {
+		t.Fatalf("single run carries replication stats: %+v", single)
+	}
+	if res.Frames < 3.9*single.Frames {
+		t.Fatalf("pooled frames %v, want ~4x %v", res.Frames, single.Frames)
+	}
+	// Replicated runs stay deterministic.
+	res2, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != res2 {
+		t.Fatal("replicated run not deterministic")
+	}
+}
+
+func TestCompareReplicatedSharesTraffic(t *testing.T) {
+	o := quickOpts("")
+	o.Replications = 3
+	res, err := Compare(o, ProtocolCHARISMA, ProtocolDRMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].VoiceGenerated != res[1].VoiceGenerated {
+		t.Fatal("replicated protocols saw different traffic (CRN broken)")
+	}
+	if res[0].Replications != 3 || res[1].Replications != 3 {
+		t.Fatalf("replication counts wrong: %d / %d", res[0].Replications, res[1].Replications)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, quickOpts(ProtocolCHARISMA)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunMultiCellReplicated(t *testing.T) {
+	r, err := RunMultiCell(MultiCellOptions{
+		VoiceUsers:   30,
+		Seed:         1,
+		Warmup:       500 * time.Millisecond,
+		Duration:     2 * time.Second,
+		Replications: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replications != 2 {
+		t.Fatalf("Replications = %d, want 2", r.Replications)
+	}
+	if len(r.PerCellLossRates) != 2 {
+		t.Fatalf("%d cells, want 2", len(r.PerCellLossRates))
 	}
 }

@@ -28,6 +28,7 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: all, table1, fig5, fig7, speed, fig11, fig12, fig13, or a panel id like fig11a")
 		quick    = flag.Bool("quick", false, "smoke-test effort (5 s per point instead of 30 s)")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 0, "override independent replications per sweep point (0 = config default)")
 		duration = flag.Float64("duration", 0, "override measured seconds per sweep point")
 	)
 	flag.Parse()
@@ -39,6 +40,9 @@ func main() {
 	rc.Seed = *seed
 	if *duration > 0 {
 		rc.DurationSec = *duration
+	}
+	if *reps > 0 {
+		rc.Replications = *reps
 	}
 
 	if err := run(strings.ToLower(*exp), rc); err != nil {

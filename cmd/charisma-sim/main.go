@@ -25,6 +25,7 @@ func main() {
 		data     = flag.Int("data", 0, "number of data users (Nd)")
 		queue    = flag.Bool("queue", false, "enable the base-station request queue")
 		seed     = flag.Int64("seed", 1, "random seed")
+		reps     = flag.Int("reps", 1, "independent replications pooled per result (CI95 across reps)")
 		duration = flag.Float64("duration", 30, "measured seconds of simulated time")
 		warmup   = flag.Float64("warmup", 2, "warm-up seconds excluded from metrics")
 		speed    = flag.Float64("speed", 0, "mobile speed in km/h (0 = paper default, 50)")
@@ -38,6 +39,7 @@ func main() {
 		DataUsers:        *data,
 		WithRequestQueue: *queue,
 		Seed:             *seed,
+		Replications:     *reps,
 		Duration:         time.Duration(*duration * float64(time.Second)),
 		Warmup:           time.Duration(*warmup * float64(time.Second)),
 		SpeedKmh:         *speed,
@@ -58,8 +60,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("cell: Nv=%d Nd=%d queue=%v seed=%d %gs measured (speed %g km/h, SNR %g dB)\n\n",
-		*voice, *data, *queue, *seed, *duration, *speed, *snr)
+	fmt.Printf("cell: Nv=%d Nd=%d queue=%v seed=%d reps=%d %gs measured (speed %g km/h, SNR %g dB)\n\n",
+		*voice, *data, *queue, *seed, *reps, *duration, *speed, *snr)
 	fmt.Printf("%-11s %9s %9s %9s %10s %10s %9s %8s\n",
 		"protocol", "Ploss", "Pdrop", "Perr", "γ(pkt/frm)", "Dd(ms)", "coll", "util")
 	for _, r := range results {
@@ -69,5 +71,14 @@ func main() {
 			r.DataThroughputPerFrame,
 			float64(r.MeanDataDelay)/float64(time.Millisecond),
 			100*r.CollisionRate, 100*r.InfoUtilization)
+	}
+	if *reps > 1 {
+		fmt.Printf("\nacross-replication Student-t CI95 (n=%d):\n", *reps)
+		fmt.Printf("%-11s %10s %12s %12s\n", "protocol", "±Ploss", "±γ", "±Dd(ms)")
+		for _, r := range results {
+			fmt.Printf("%-11s %9.4f%% %12.3f %12.2f\n",
+				r.Protocol, 100*r.VoiceLossCI95, r.DataThroughputCI95,
+				float64(r.MeanDataDelayCI95)/float64(time.Millisecond))
+		}
 	}
 }

@@ -12,21 +12,25 @@ import (
 
 func main() {
 	res, err := charisma.Run(charisma.Options{
-		Protocol:   charisma.ProtocolCHARISMA,
-		VoiceUsers: 60,
-		DataUsers:  10,
-		Seed:       1,
-		Duration:   15 * time.Second,
+		Protocol:     charisma.ProtocolCHARISMA,
+		VoiceUsers:   60,
+		DataUsers:    10,
+		Seed:         1,
+		Duration:     15 * time.Second,
+		Replications: 8, // 8 independent seeds pooled, CI95 across them
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("CHARISMA uplink cell — 60 voice users, 10 data users, 15 s measured")
-	fmt.Printf("  voice packet loss Ploss : %.3f%%  (drops %.3f%% + errors %.3f%%)\n",
-		100*res.VoiceLossRate, 100*res.VoiceDropRate, 100*res.VoiceErrorRate)
-	fmt.Printf("  data throughput γ       : %.2f packets/frame\n", res.DataThroughputPerFrame)
-	fmt.Printf("  mean data delay Dd      : %v\n", res.MeanDataDelay.Round(time.Millisecond))
+	fmt.Printf("CHARISMA uplink cell — 60 voice users, 10 data users, 15 s × %d replications\n",
+		res.Replications)
+	fmt.Printf("  voice packet loss Ploss : %.3f%% ± %.3f%%  (drops %.3f%% + errors %.3f%%)\n",
+		100*res.VoiceLossRate, 100*res.VoiceLossCI95, 100*res.VoiceDropRate, 100*res.VoiceErrorRate)
+	fmt.Printf("  data throughput γ       : %.2f ± %.2f packets/frame\n",
+		res.DataThroughputPerFrame, res.DataThroughputCI95)
+	fmt.Printf("  mean data delay Dd      : %v ± %v\n",
+		res.MeanDataDelay.Round(time.Millisecond), res.MeanDataDelayCI95.Round(time.Millisecond))
 	fmt.Printf("  request collision rate  : %.2f%%\n", 100*res.CollisionRate)
 	fmt.Printf("  info subframe utilized  : %.1f%%\n", 100*res.InfoUtilization)
 

@@ -27,9 +27,10 @@ func main() {
 	loss := make(map[charisma.Protocol][]float64, len(protocols))
 	for _, nv := range sweep {
 		results, err := charisma.Compare(charisma.Options{
-			VoiceUsers: nv,
-			Seed:       1,
-			Duration:   8 * time.Second,
+			VoiceUsers:   nv,
+			Seed:         1,
+			Duration:     8 * time.Second,
+			Replications: 4, // smooth each point over 4 independent seeds
 		}, protocols...)
 		if err != nil {
 			log.Fatal(err)

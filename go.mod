@@ -1,0 +1,3 @@
+module charisma
+
+go 1.24

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -226,8 +227,10 @@ func (sc Scenario) Run() (mac.Result, error) {
 	proto.Init(sys)
 	eng := sim.NewEngine()
 	marked := false
-	var frameStep sim.Handler
-	frameStep = func(e *sim.Engine) {
+	// One recurring event drives the TDMA cadence; the step returns each
+	// frame's (possibly variable) duration as the delay to the next tick,
+	// so the whole run reuses a single event slot.
+	eng.ScheduleEvery(0, func(e *sim.Engine) sim.Time {
 		if !marked && sys.Now() >= warmup {
 			sys.M.Mark()
 			marked = true
@@ -235,19 +238,22 @@ func (sc Scenario) Run() (mac.Result, error) {
 		sys.BeginFrame()
 		dur := proto.RunFrame(sys)
 		sys.EndFrame(dur)
-		if sys.Now() < limit {
-			e.Schedule(sys.Now(), frameStep)
+		if sys.Now() >= limit {
+			return -1
 		}
-	}
-	eng.Schedule(0, frameStep)
+		return dur
+	})
 	eng.Run()
 
 	return sys.M.Result(proto.Name(), sys.Cfg.Geometry.FrameSymbols), nil
 }
 
 // RunMany executes scenarios concurrently across the machine's cores and
-// returns results in input order. The first error aborts nothing — every
-// scenario runs — but the error is reported.
+// returns results in input order. An error aborts nothing — every scenario
+// runs — and all per-scenario errors are reported together via
+// errors.Join. Replication-aware batches should prefer the internal/run
+// package, which layers seed derivation, aggregation and cancellation on
+// top of this primitive's semantics.
 func RunMany(scs []Scenario) ([]mac.Result, error) {
 	results := make([]mac.Result, len(scs))
 	errs := make([]error, len(scs))
@@ -274,10 +280,5 @@ func RunMany(scs []Scenario) ([]mac.Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }

@@ -2,11 +2,14 @@
 // the paper's evaluation (§5): the Fig. 11 voice-loss panels, the Fig. 12
 // data-throughput panels, the Fig. 13 data-delay panels, the Fig. 5 fading
 // trace, the Fig. 7 ABICM curves, Table 1, and the §5.3.3 mobile-speed
-// sensitivity study. Panels fan out across protocols and sweep points on
-// all cores via the core runner.
+// sensitivity study. Panels fan out across protocols, sweep points and
+// independent replications as one flat plan on the replication-aware
+// runner (internal/run); error bars are across-replication Student-t
+// CI95 half-widths.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,6 +17,7 @@ import (
 	"charisma/internal/core"
 	"charisma/internal/mac"
 	"charisma/internal/phy"
+	"charisma/internal/run"
 	"charisma/internal/sim"
 	"charisma/internal/stats"
 )
@@ -23,20 +27,24 @@ type RunConfig struct {
 	Seed        int64
 	WarmupSec   float64
 	DurationSec float64
+	// Replications is the number of independent replications per sweep
+	// point (values below 1 mean 1). Error bars come from the
+	// across-replication Student-t CI95.
+	Replications int
 	// Protocols restricts the comparison set (default: all six).
 	Protocols []string
 }
 
 // DefaultRunConfig returns publication-effort settings: 30 measured seconds
-// per point.
+// per point, 8 independent replications.
 func DefaultRunConfig() RunConfig {
-	return RunConfig{Seed: 1, WarmupSec: 2, DurationSec: 30}
+	return RunConfig{Seed: 1, WarmupSec: 2, DurationSec: 30, Replications: 8}
 }
 
-// QuickRunConfig returns smoke-test effort (a few seconds per point), used
-// by the benchmark harness so every figure stays regenerable in CI time.
+// QuickRunConfig returns smoke-test effort (a few seconds per point, two
+// replications), used so every figure stays regenerable in CI time.
 func QuickRunConfig() RunConfig {
-	return RunConfig{Seed: 1, WarmupSec: 1, DurationSec: 5}
+	return RunConfig{Seed: 1, WarmupSec: 1, DurationSec: 5, Replications: 2}
 }
 
 func (rc RunConfig) protocols() []string {
@@ -44,6 +52,13 @@ func (rc RunConfig) protocols() []string {
 		return rc.Protocols
 	}
 	return core.Protocols()
+}
+
+func (rc RunConfig) replications() int {
+	if rc.Replications < 1 {
+		return 1
+	}
+	return rc.Replications
 }
 
 // Panel is one figure panel: a family of per-protocol series over a sweep.
@@ -76,7 +91,22 @@ func metricValue(m Metric, r mac.Result) float64 {
 	}
 }
 
-// sweep runs protocols x xs cells and collects one metric.
+// metricCI returns the across-replication CI95 half-width matching a
+// metric (the within-run interval for delay when only one rep ran).
+func metricCI(m Metric, r mac.Result) float64 {
+	switch m {
+	case MetricVoiceLoss:
+		return r.Reps.VoiceLossCI95
+	case MetricDataThroughput:
+		return r.Reps.DataThroughputCI95
+	default:
+		return r.DataDelayCI95
+	}
+}
+
+// sweep runs (protocols × xs × replications) cells as one flat plan on the
+// replication-aware runner and collects one metric per point with its
+// across-replication error bar.
 func sweep(rc RunConfig, metric Metric, xs []int, build func(proto string, x int) core.Scenario) ([]stats.Series, error) {
 	protos := rc.protocols()
 	var scs []core.Scenario
@@ -85,7 +115,7 @@ func sweep(rc RunConfig, metric Metric, xs []int, build func(proto string, x int
 			scs = append(scs, build(p, x))
 		}
 	}
-	results, err := core.RunMany(scs)
+	results, err := run.Replicated(context.Background(), scs, rc.replications())
 	if err != nil {
 		return nil, err
 	}
@@ -96,11 +126,7 @@ func sweep(rc RunConfig, metric Metric, xs []int, build func(proto string, x int
 		for _, x := range xs {
 			r := results[i]
 			i++
-			errBar := 0.0
-			if metric == MetricDataDelay {
-				errBar = r.DataDelayCI95
-			}
-			s.Append(float64(x), metricValue(metric, r), errBar)
+			s.Append(float64(x), metricValue(metric, r), metricCI(metric, r))
 		}
 		out = append(out, s)
 	}
@@ -292,7 +318,7 @@ func SpeedSweep(nv int, speeds []float64, rc RunConfig) ([]SpeedPoint, error) {
 		sc.Channel.SpeedKmh = v
 		scs = append(scs, sc)
 	}
-	results, err := core.RunMany(scs)
+	results, err := run.Replicated(context.Background(), scs, rc.replications())
 	if err != nil {
 		return nil, err
 	}

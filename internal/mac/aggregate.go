@@ -1,0 +1,75 @@
+package mac
+
+import "charisma/internal/stats"
+
+// AggregateReplications pools N independent replications of the same
+// scenario into one Result. Event counters and measured frames are summed,
+// the paper's rates are recomputed from the pooled counters (so every
+// replication contributes in proportion to its traffic), the mean data
+// delay is delivery-weighted, and Reps reports across-replication
+// Student-t 95% confidence half-widths of the three headline metrics.
+// DataDelayCI95 is replaced by the across-replication interval: the
+// within-run interval treats correlated samples of one sample path as
+// independent and overstates confidence.
+//
+// The fold visits replications in slice order, so results are
+// byte-identical no matter how many workers produced the inputs.
+func AggregateReplications(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	if len(rs) == 1 {
+		r := rs[0]
+		if r.Reps.Replications == 0 {
+			r.Reps.Replications = 1
+		}
+		return r
+	}
+
+	agg := Result{Protocol: rs[0].Protocol}
+	var loss, thru, delay stats.MeanVar
+	var delaySum, utilSum float64
+	for _, r := range rs {
+		agg.Frames += r.Frames
+		agg.VoiceGenerated += r.VoiceGenerated
+		agg.VoiceDropped += r.VoiceDropped
+		agg.VoiceErrored += r.VoiceErrored
+		agg.VoiceDelivered += r.VoiceDelivered
+		agg.DataGenerated += r.DataGenerated
+		agg.DataDelivered += r.DataDelivered
+		agg.DataErrored += r.DataErrored
+		agg.ReqAttempts += r.ReqAttempts
+		agg.ReqCollisions += r.ReqCollisions
+		agg.ReqSuccesses += r.ReqSuccesses
+		agg.CSIPolls += r.CSIPolls
+		agg.QueueRejects += r.QueueRejects
+		if r.MaxDataDelaySec > agg.MaxDataDelaySec {
+			agg.MaxDataDelaySec = r.MaxDataDelaySec
+		}
+		delaySum += r.MeanDataDelaySec * float64(r.DataDelivered)
+		utilSum += r.InfoUtilization * r.Frames
+		loss.Add(r.VoiceLossRate)
+		thru.Add(r.DataThroughputPerFrame)
+		delay.Add(r.MeanDataDelaySec)
+	}
+
+	agg.VoiceLossRate = stats.Ratio(agg.VoiceDropped+agg.VoiceErrored, agg.VoiceGenerated)
+	agg.VoiceDropRate = stats.Ratio(agg.VoiceDropped, agg.VoiceGenerated)
+	agg.VoiceErrorRate = stats.Ratio(agg.VoiceErrored, agg.VoiceGenerated)
+	if agg.Frames > 0 {
+		agg.DataThroughputPerFrame = float64(agg.DataDelivered) / agg.Frames
+		agg.InfoUtilization = utilSum / agg.Frames
+	}
+	if agg.DataDelivered > 0 {
+		agg.MeanDataDelaySec = delaySum / float64(agg.DataDelivered)
+	}
+	agg.CollisionRate = stats.Ratio(agg.ReqCollisions, agg.ReqCollisions+agg.ReqSuccesses)
+	agg.DataDelayCI95 = delay.TCI95()
+	agg.Reps = RepStats{
+		Replications:       len(rs),
+		VoiceLossCI95:      loss.TCI95(),
+		DataThroughputCI95: thru.TCI95(),
+		DataDelayCI95:      delay.TCI95(),
+	}
+	return agg
+}

@@ -1,0 +1,107 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"charisma/internal/stats"
+)
+
+func repResult(gen, drop, errd, deliv uint64, frames, delay float64, dataDeliv uint64) Result {
+	r := Result{
+		Protocol:         "charisma",
+		Frames:           frames,
+		VoiceGenerated:   gen,
+		VoiceDropped:     drop,
+		VoiceErrored:     errd,
+		VoiceDelivered:   deliv,
+		DataDelivered:    dataDeliv,
+		MeanDataDelaySec: delay,
+		Reps:             RepStats{Replications: 1},
+	}
+	r.VoiceLossRate = stats.Ratio(drop+errd, gen)
+	r.DataThroughputPerFrame = float64(dataDeliv) / frames
+	return r
+}
+
+func TestAggregateReplicationsEmptyAndSingle(t *testing.T) {
+	if got := AggregateReplications(nil); got != (Result{}) {
+		t.Fatal("empty aggregation not zero")
+	}
+	one := repResult(100, 2, 1, 97, 50, 0.1, 20)
+	got := AggregateReplications([]Result{one})
+	if got != one {
+		t.Fatalf("single-rep aggregation changed the result: %+v", got)
+	}
+	if got.Reps.Replications != 1 {
+		t.Fatalf("Replications = %d, want 1", got.Reps.Replications)
+	}
+}
+
+func TestAggregateReplicationsPoolsCounters(t *testing.T) {
+	rs := []Result{
+		repResult(100, 2, 2, 96, 100, 0.10, 40),
+		repResult(200, 10, 2, 188, 100, 0.20, 60),
+		repResult(100, 4, 0, 96, 100, 0.15, 100),
+	}
+	agg := AggregateReplications(rs)
+	if agg.Reps.Replications != 3 {
+		t.Fatalf("Replications = %d, want 3", agg.Reps.Replications)
+	}
+	if agg.VoiceGenerated != 400 || agg.VoiceDropped != 16 || agg.VoiceErrored != 4 {
+		t.Fatalf("counters not summed: %+v", agg)
+	}
+	// Loss pooled from counters: (16+4)/400, not the mean of per-rep rates.
+	if math.Abs(agg.VoiceLossRate-0.05) > 1e-12 {
+		t.Fatalf("pooled loss = %v, want 0.05", agg.VoiceLossRate)
+	}
+	if agg.Frames != 300 {
+		t.Fatalf("frames = %v, want 300", agg.Frames)
+	}
+	// Throughput pooled over the whole window: 200 packets / 300 frames.
+	if math.Abs(agg.DataThroughputPerFrame-200.0/300) > 1e-12 {
+		t.Fatalf("pooled throughput = %v", agg.DataThroughputPerFrame)
+	}
+	// Delay delivery-weighted: (0.1*40 + 0.2*60 + 0.15*100) / 200.
+	wantDelay := (0.1*40 + 0.2*60 + 0.15*100) / 200
+	if math.Abs(agg.MeanDataDelaySec-wantDelay) > 1e-12 {
+		t.Fatalf("pooled delay = %v, want %v", agg.MeanDataDelaySec, wantDelay)
+	}
+}
+
+func TestAggregateReplicationsStudentTCI(t *testing.T) {
+	rs := []Result{
+		repResult(100, 10, 0, 90, 100, 0.1, 10),
+		repResult(100, 20, 0, 80, 100, 0.2, 10),
+		repResult(100, 30, 0, 70, 100, 0.3, 10),
+	}
+	agg := AggregateReplications(rs)
+	// Per-rep loss rates 0.1, 0.2, 0.3: stddev 0.1, stderr 0.1/sqrt(3),
+	// t(df=2) = 4.303.
+	want := 4.303 * 0.1 / math.Sqrt(3)
+	if math.Abs(agg.Reps.VoiceLossCI95-want) > 1e-9 {
+		t.Fatalf("VoiceLossCI95 = %v, want %v", agg.Reps.VoiceLossCI95, want)
+	}
+	// Identical throughput in every rep: zero dispersion.
+	if agg.Reps.DataThroughputCI95 != 0 {
+		t.Fatalf("DataThroughputCI95 = %v, want 0", agg.Reps.DataThroughputCI95)
+	}
+	// The within-run delay CI must have been replaced by the across-rep one.
+	if agg.DataDelayCI95 != agg.Reps.DataDelayCI95 {
+		t.Fatal("DataDelayCI95 not replaced by the across-replication interval")
+	}
+}
+
+// Aggregation must not depend on any property of the inputs beyond slice
+// order — same inputs, same output, bit for bit.
+func TestAggregateReplicationsDeterministic(t *testing.T) {
+	rs := []Result{
+		repResult(100, 3, 1, 96, 80, 0.12, 33),
+		repResult(101, 5, 2, 94, 80, 0.18, 29),
+	}
+	a := AggregateReplications(rs)
+	b := AggregateReplications(rs)
+	if a != b {
+		t.Fatal("aggregation not deterministic")
+	}
+}

@@ -104,6 +104,29 @@ type Result struct {
 	CSIPolls        uint64
 	QueueRejects    uint64
 	InfoUtilization float64
+
+	// Reps carries replication-level statistics when this Result pools
+	// several independent replications (see AggregateReplications).
+	Reps RepStats
+}
+
+// RepStats summarizes across-replication dispersion. For a single run
+// Replications is 1 and every half-width is zero; an aggregate of N ≥ 2
+// replications reports Student-t 95% confidence half-widths computed
+// across the per-replication metric values — the statistically sound
+// interval the paper's replicated evaluation calls for, as opposed to a
+// within-run interval that ignores between-run variance.
+type RepStats struct {
+	// Replications is the number of independent replications pooled.
+	Replications int
+	// VoiceLossCI95 is the across-replication half-width of VoiceLossRate.
+	VoiceLossCI95 float64
+	// DataThroughputCI95 is the across-replication half-width of
+	// DataThroughputPerFrame.
+	DataThroughputCI95 float64
+	// DataDelayCI95 is the across-replication half-width of
+	// MeanDataDelaySec.
+	DataDelayCI95 float64
 }
 
 // Result snapshots the measurement window into the paper's metrics. The
@@ -126,6 +149,7 @@ func (m *Metrics) Result(protocol string, frameSymbols int) Result {
 		ReqSuccesses:   m.ReqSuccesses.Since(),
 		CSIPolls:       m.CSIPolls.Since(),
 		QueueRejects:   m.QueueRejects.Since(),
+		Reps:           RepStats{Replications: 1},
 	}
 	r.VoiceLossRate = stats.Ratio(r.VoiceDropped+r.VoiceErrored, r.VoiceGenerated)
 	r.VoiceDropRate = stats.Ratio(r.VoiceDropped, r.VoiceGenerated)

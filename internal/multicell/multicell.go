@@ -19,6 +19,7 @@
 package multicell
 
 import (
+	"context"
 	"fmt"
 
 	"charisma/internal/channel"
@@ -26,7 +27,9 @@ import (
 	"charisma/internal/mac"
 	"charisma/internal/phy"
 	"charisma/internal/rng"
+	"charisma/internal/run"
 	"charisma/internal/sim"
+	"charisma/internal/stats"
 	"charisma/internal/traffic"
 )
 
@@ -313,6 +316,8 @@ func (d *Deployment) Run() (Result, error) {
 	if agg.DataDelivered > 0 {
 		agg.MeanDataDelaySec = delaySum / float64(agg.DataDelivered)
 	}
+	agg.CollisionRate = stats.Ratio(agg.ReqCollisions, agg.ReqCollisions+agg.ReqSuccesses)
+	agg.Reps = mac.RepStats{Replications: 1}
 	return agg, nil
 }
 
@@ -323,4 +328,47 @@ func Run(p Params) (Result, error) {
 		return Result{}, err
 	}
 	return d.Run()
+}
+
+// RunReplicated executes reps independent deployments concurrently — each
+// under a seed derived via run.RepSeed, so replication 0 reproduces Run(p)
+// exactly — and pools them: counters and handoffs sum, rates recompute
+// from pooled counters, Reps carries across-replication Student-t CI95,
+// and PerCell aggregates each cell across replications.
+func RunReplicated(ctx context.Context, p Params, reps int) (Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	outs, err := run.Map(ctx, 0, reps, func(i int) (Result, error) {
+		pi := p
+		pi.Seed = run.RepSeed(p.Seed, i)
+		return Run(pi)
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if reps == 1 {
+		return outs[0], nil
+	}
+	flat := make([]mac.Result, reps)
+	agg := Result{}
+	for i, o := range outs {
+		flat[i] = o.Result
+		agg.Handoffs += o.Handoffs
+	}
+	agg.Result = mac.AggregateReplications(flat)
+	// A deployment-level Result sums Frames across cells, so the generic
+	// aggregation's DataDelivered/Frames would shrink throughput by the
+	// cell count; restore the per-cell-frame normalization Run uses.
+	if cells := len(outs[0].PerCell); agg.Frames > 0 && cells > 0 {
+		agg.Result.DataThroughputPerFrame = float64(agg.Result.DataDelivered) / (agg.Result.Frames / float64(cells))
+	}
+	for c := 0; c < len(outs[0].PerCell); c++ {
+		per := make([]mac.Result, reps)
+		for i, o := range outs {
+			per[i] = o.PerCell[c]
+		}
+		agg.PerCell = append(agg.PerCell, mac.AggregateReplications(per))
+	}
+	return agg, nil
 }

@@ -1,9 +1,12 @@
 package multicell
 
 import (
+	"context"
+	"math"
 	"testing"
 
 	"charisma/internal/core"
+	"charisma/internal/run"
 )
 
 func quickParams() Params {
@@ -192,5 +195,106 @@ func TestHysteresisDampensHandoffs(t *testing.T) {
 	loose, tight := run(0), run(10)
 	if tight >= loose {
 		t.Fatalf("hysteresis 10 dB (%d handoffs) not below 0 dB (%d)", tight, loose)
+	}
+}
+
+func TestRunReplicatedSingleMatchesRun(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 3
+	single, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunReplicated(context.Background(), p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result != single.Result || rep.Handoffs != single.Handoffs {
+		t.Fatal("1-replication RunReplicated differs from Run")
+	}
+}
+
+func TestRunReplicatedAggregates(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 3
+	const reps = 3
+	r, err := RunReplicated(context.Background(), p, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reps.Replications != reps {
+		t.Fatalf("Replications = %d, want %d", r.Reps.Replications, reps)
+	}
+	if len(r.PerCell) != p.Cells {
+		t.Fatalf("%d per-cell results, want %d", len(r.PerCell), p.Cells)
+	}
+	for c, pc := range r.PerCell {
+		if pc.Reps.Replications != reps {
+			t.Fatalf("cell %d Replications = %d, want %d", c, pc.Reps.Replications, reps)
+		}
+	}
+	single, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VoiceGenerated <= single.VoiceGenerated {
+		t.Fatal("pooled counters not larger than a single deployment")
+	}
+	// Determinism: replication is a fixed fold over fixed seeds.
+	r2, err := RunReplicated(context.Background(), p, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result != r2.Result || r.Handoffs != r2.Handoffs {
+		t.Fatal("replicated multicell run not deterministic")
+	}
+}
+
+// Regression: the replicated deployment-level throughput must stay in the
+// per-cell-frame normalization Run uses — pooling across reps must not
+// shrink it by the cell count — and CollisionRate must be present for
+// single runs exactly as for aggregates.
+func TestRunReplicatedThroughputNormalization(t *testing.T) {
+	p := quickParams()
+	p.NumVoice, p.NumData = 10, 10
+	p.DurationSec = 3
+	single, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.DataThroughputPerFrame <= 0 {
+		t.Fatal("no data throughput in single run")
+	}
+	if single.ReqCollisions > 0 && single.CollisionRate == 0 {
+		t.Fatal("single-run CollisionRate missing despite collisions")
+	}
+	rep, err := RunReplicated(context.Background(), p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact invariant: pooled throughput is total delivered over total
+	// per-cell frames, in the same normalization Run uses. Recompute it
+	// from the three individual replications.
+	var delivered uint64
+	var frames float64
+	for i := 0; i < 3; i++ {
+		pi := p
+		pi.Seed = run.RepSeed(p.Seed, i)
+		ri, err := Run(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delivered += ri.DataDelivered
+		frames += ri.Frames
+	}
+	want := float64(delivered) / (frames / float64(p.Cells))
+	if math.Abs(rep.DataThroughputPerFrame-want) > 1e-9 {
+		t.Fatalf("replicated throughput %v, want %v (per-cell-frame normalization)",
+			rep.DataThroughputPerFrame, want)
+	}
+	// Sanity: the single run must be on the same scale (a cells-factor bug
+	// would halve one of them).
+	if single.DataThroughputPerFrame <= 0 || want <= 0 {
+		t.Fatal("throughputs vanished")
 	}
 }

@@ -1,0 +1,193 @@
+// Package run is the replication-aware parallel execution layer between
+// the scenario layer (core) and every consumer of results (the public
+// facade, the experiment sweeps, the cmd entry points).
+//
+// The paper's evaluation rests on replicated stochastic simulations with
+// common random numbers: each scenario must be run N independent times
+// under seeds derived from one base seed, and the reported uncertainty
+// must come from across-replication dispersion, not from within-run
+// sample counts. This package owns that methodology end to end:
+//
+//   - A Plan expands scenarios into (scenario, replication) tasks, with
+//     per-replication seeds derived via rng.SeedFor(seed, "rep", i).
+//     Replication 0 keeps the base seed, so a 1-replication plan is
+//     byte-identical to Scenario.Run and adding replications only ever
+//     extends a sweep.
+//   - A Runner executes the flat task list on a bounded worker pool with
+//     context cancellation. Every task writes into a fixed slot and the
+//     per-job fold visits replications in index order, so the numbers are
+//     byte-identical for any worker count — parallelism is purely a
+//     throughput knob.
+//   - Per-job results aggregate through mac.AggregateReplications into
+//     pooled counters plus across-replication Student-t CI95 half-widths.
+//
+// Common random numbers survive replication: traffic and channel streams
+// derive from the scenario seed only, so replication i of every protocol
+// still observes identical sample paths.
+package run
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"charisma/internal/core"
+	"charisma/internal/mac"
+	"charisma/internal/rng"
+)
+
+// Job is one scenario together with its replication count.
+type Job struct {
+	Scenario core.Scenario
+	// Replications is the number of independent runs pooled into this
+	// job's result; values below 1 are treated as 1.
+	Replications int
+}
+
+func (j Job) reps() int {
+	if j.Replications < 1 {
+		return 1
+	}
+	return j.Replications
+}
+
+// Plan is a flat batch of jobs executed as one concurrent unit. Sweeps
+// build a single plan covering every (protocol, load, replication) cell
+// so the worker pool stays saturated across the whole sweep instead of
+// draining between points.
+type Plan struct {
+	Jobs []Job
+}
+
+// NewPlan wraps scenarios into a plan with a uniform replication count.
+func NewPlan(scs []core.Scenario, replications int) Plan {
+	jobs := make([]Job, len(scs))
+	for i, sc := range scs {
+		jobs[i] = Job{Scenario: sc, Replications: replications}
+	}
+	return Plan{Jobs: jobs}
+}
+
+// Tasks returns the total number of simulation runs the plan expands to.
+func (p Plan) Tasks() int {
+	n := 0
+	for _, j := range p.Jobs {
+		n += j.reps()
+	}
+	return n
+}
+
+// RepSeed derives the seed of replication i from a job's base seed.
+// Replication 0 keeps the base seed — a single-replication run is exactly
+// the legacy Scenario.Run — and each further replication draws an
+// independent substream. The derivation depends only on (base, i), never
+// on the protocol, preserving the common-random-numbers pairing across
+// protocols within every replication.
+func RepSeed(base int64, i int) int64 {
+	if i == 0 {
+		return base
+	}
+	return rng.SeedFor(base, "rep", fmt.Sprint(i))
+}
+
+// Runner executes plans on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrency; values below 1 mean GOMAXPROCS.
+	Workers int
+}
+
+// Run executes every replication of every job concurrently and returns
+// one aggregated mac.Result per job, in job order. All jobs run even when
+// some fail; the returned error joins every per-task failure (and the
+// context's error, if it was cancelled), in which case results are nil.
+func (r Runner) Run(ctx context.Context, p Plan) ([]mac.Result, error) {
+	type task struct{ job, rep int }
+	tasks := make([]task, 0, p.Tasks())
+	for j, job := range p.Jobs {
+		for i := 0; i < job.reps(); i++ {
+			tasks = append(tasks, task{job: j, rep: i})
+		}
+	}
+
+	flat, err := Map(ctx, r.Workers, len(tasks), func(k int) (mac.Result, error) {
+		t := tasks[k]
+		sc := p.Jobs[t.job].Scenario
+		sc.Seed = RepSeed(sc.Seed, t.rep)
+		res, err := sc.Run()
+		if err != nil {
+			return mac.Result{}, fmt.Errorf("run: job %d (%s) rep %d: %w", t.job, sc.Protocol, t.rep, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]mac.Result, len(p.Jobs))
+	k := 0
+	for j, job := range p.Jobs {
+		n := job.reps()
+		out[j] = mac.AggregateReplications(flat[k : k+n])
+		k += n
+	}
+	return out, nil
+}
+
+// Scenarios executes each scenario once (no replication) on the default
+// worker count — the drop-in concurrent batch primitive.
+func Scenarios(ctx context.Context, scs []core.Scenario) ([]mac.Result, error) {
+	return Runner{}.Run(ctx, NewPlan(scs, 1))
+}
+
+// Replicated executes each scenario with the given replication count on
+// the default worker count.
+func Replicated(ctx context.Context, scs []core.Scenario, replications int) ([]mac.Result, error) {
+	return Runner{}.Run(ctx, NewPlan(scs, replications))
+}
+
+// Map runs fn(0..n-1) on a bounded worker pool and returns the results in
+// index order. Tasks are independent: a failure does not stop the others,
+// and the returned error joins every failure via errors.Join. Context
+// cancellation stops workers from picking up new tasks; the context error
+// is joined into the result. Worker count never affects the output values
+// — each index writes its own slot.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	errs := make([]error, n+1)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	errs[n] = ctx.Err()
+	if err := errors.Join(errs...); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,69 +1,55 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Handler is a callback executed when an event fires. It receives the
 // engine so it can schedule follow-up events.
 type Handler func(e *Engine)
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier at the same timestamp run first (stable FIFO order), which keeps
-// simulations deterministic.
-type event struct {
+// StepFunc drives a recurring event scheduled with ScheduleEvery. After
+// each firing it returns the delay until the next firing; a negative
+// delay stops the recurrence. Variable-length cadences (e.g. RMAV's
+// variable frames) simply return a different delay each time.
+type StepFunc func(e *Engine) Time
+
+// node is one scheduled event stored by value in the engine's arena.
+// seq breaks ties so that events scheduled earlier at the same timestamp
+// run first (stable FIFO order), which keeps simulations deterministic.
+// gen invalidates stale EventIDs when a slot is recycled via the free
+// list.
+type node struct {
 	at      Time
 	seq     uint64
+	gen     uint32
+	pos     int32 // position in the heap, -1 when not queued
 	handler Handler
-	index   int // heap index, maintained by eventQueue
-	dead    bool
+	every   StepFunc
 }
 
-// eventQueue is a binary min-heap of events ordered by (time, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is invalid and never cancels anything.
+type EventID struct {
+	idx int32 // arena index + 1, so the zero EventID matches no node
+	gen uint32
 }
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
 
 // Engine is a deterministic discrete-event simulation executive.
 // The zero value is ready to use.
+//
+// Events live by value in an arena slice recycled through a free list,
+// and the ready queue is a 4-ary min-heap of arena indices ordered by
+// (time, seq). Scheduling therefore performs no per-event allocation in
+// steady state: once the arena has grown to the high-water mark of
+// simultaneously pending events, Schedule/Step cycles are allocation
+// free (the 4-ary layout also halves sift depth versus a binary heap,
+// which is where a discrete-event hot loop spends its time).
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	events uint64 // total events executed
+	now      Time
+	seq      uint64
+	executed uint64
+	nodes    []node  // arena of event slots
+	heap     []int32 // indices into nodes, min-heap on (at, seq)
+	free     []int32 // recycled arena slots
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -73,17 +59,120 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // Executed reports how many events have fired so far.
-func (e *Engine) Executed() uint64 { return e.events }
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are scheduled and not yet fired.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
+func (e *Engine) Pending() int { return len(e.heap) }
+
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
 	}
-	return n
+	e.nodes = append(e.nodes, node{pos: -1})
+	return int32(len(e.nodes) - 1)
+}
+
+// release returns a fired or cancelled slot to the free list. Bumping gen
+// invalidates every EventID handed out for the slot's previous life.
+func (e *Engine) release(idx int32) {
+	nd := &e.nodes[idx]
+	nd.handler = nil
+	nd.every = nil
+	nd.gen++
+	nd.pos = -1
+	e.free = append(e.free, idx)
+}
+
+func (e *Engine) less(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+func (e *Engine) push(idx int32) {
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	idx := e.heap[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(idx, e.heap[p]) {
+			break
+		}
+		e.heap[i] = e.heap[p]
+		e.nodes[e.heap[i]].pos = int32(i)
+		i = p
+	}
+	e.heap[i] = idx
+	e.nodes[idx].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	idx := e.heap[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(e.heap[c], e.heap[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.heap[best], idx) {
+			break
+		}
+		e.heap[i] = e.heap[best]
+		e.nodes[e.heap[i]].pos = int32(i)
+		i = best
+	}
+	e.heap[i] = idx
+	e.nodes[idx].pos = int32(i)
+}
+
+// removeAt detaches the heap entry at position pos and returns its arena
+// index.
+func (e *Engine) removeAt(pos int32) int32 {
+	idx := e.heap[pos]
+	e.nodes[idx].pos = -1
+	last := int32(len(e.heap) - 1)
+	if pos != last {
+		e.heap[pos] = e.heap[last]
+		e.nodes[e.heap[pos]].pos = pos
+	}
+	e.heap = e.heap[:last]
+	if pos < last {
+		e.siftDown(int(pos))
+		e.siftUp(int(pos))
+	}
+	return idx
+}
+
+func (e *Engine) insert(at Time, h Handler, every StepFunc) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
+	}
+	idx := e.alloc()
+	nd := &e.nodes[idx]
+	nd.at = at
+	nd.seq = e.seq
+	e.seq++
+	nd.handler = h
+	nd.every = every
+	e.push(idx)
+	return EventID{idx: idx + 1, gen: nd.gen}
 }
 
 // Schedule registers h to run at absolute time at. Scheduling in the past
@@ -93,13 +182,7 @@ func (e *Engine) Schedule(at Time, h Handler) EventID {
 	if h == nil {
 		panic("sim: Schedule called with nil handler")
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
-	}
-	ev := &event{at: at, seq: e.seq, handler: h}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	return e.insert(at, h, nil)
 }
 
 // ScheduleAfter registers h to run delay ticks from now.
@@ -110,48 +193,76 @@ func (e *Engine) ScheduleAfter(delay Time, h Handler) EventID {
 	return e.Schedule(e.now+delay, h)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op. It reports whether the event was
-// still pending.
+// ScheduleEvery registers a recurring event that first fires at absolute
+// time start and thereafter re-fires after whatever delay step returns,
+// until step returns a negative delay. The recurrence reuses one event
+// slot for its whole lifetime — a frame driver ticking millions of frames
+// performs zero allocations and needs no per-frame closure re-scheduling.
+// The returned EventID cancels the whole recurrence (from outside the
+// step function; to stop from within, return a negative delay).
+func (e *Engine) ScheduleEvery(start Time, step StepFunc) EventID {
+	if step == nil {
+		panic("sim: ScheduleEvery called with nil step")
+	}
+	return e.insert(start, nil, step)
+}
+
+// Cancel removes a scheduled event or recurrence. Cancelling an
+// already-fired or already-cancelled event is a no-op. It reports whether
+// the event was still pending.
 func (e *Engine) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.dead || ev.index < 0 {
+	if id.idx <= 0 || int(id.idx) > len(e.nodes) {
 		return false
 	}
-	ev.dead = true
+	idx := id.idx - 1
+	nd := &e.nodes[idx]
+	if nd.gen != id.gen || nd.pos < 0 {
+		return false
+	}
+	e.removeAt(nd.pos)
+	e.release(idx)
 	return true
 }
 
 // Step fires the single earliest pending event. It reports false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
-			continue
+	if len(e.heap) == 0 {
+		return false
+	}
+	idx := e.removeAt(0)
+	at := e.nodes[idx].at
+	if at < e.now {
+		panic("sim: event queue time went backwards")
+	}
+	e.now = at
+	e.executed++
+	if every := e.nodes[idx].every; every != nil {
+		delay := every(e)
+		// The callback may have grown the arena; re-resolve the slot.
+		if delay >= 0 {
+			nd := &e.nodes[idx]
+			nd.at = e.now + delay
+			nd.seq = e.seq
+			e.seq++
+			e.push(idx)
+		} else {
+			e.release(idx)
 		}
-		if ev.at < e.now {
-			panic("sim: event queue time went backwards")
-		}
-		e.now = ev.at
-		e.events++
-		ev.handler(e)
 		return true
 	}
-	return false
+	h := e.nodes[idx].handler
+	e.release(idx)
+	h(e)
+	return true
 }
 
 // RunUntil fires events in order until the clock would pass limit or the
 // queue drains. Events scheduled exactly at limit do fire.
 func (e *Engine) RunUntil(limit Time) {
-	for len(e.queue) > 0 {
+	for len(e.heap) > 0 {
 		// Peek without popping so an over-the-limit event stays queued.
-		next := e.queue[0]
-		if next.dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > limit {
+		if e.nodes[e.heap[0]].at > limit {
 			e.now = limit
 			return
 		}

@@ -191,6 +191,166 @@ func TestEnginePendingAndExecuted(t *testing.T) {
 	}
 }
 
+func TestScheduleEveryFixedPeriod(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	e.ScheduleEvery(5, func(eng *Engine) Time {
+		fires = append(fires, eng.Now())
+		if len(fires) == 4 {
+			return -1 // stop from within
+		}
+		return 10
+	})
+	e.Run()
+	want := []Time{5, 15, 25, 35}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(fires), len(want))
+	}
+	for i, at := range want {
+		if fires[i] != at {
+			t.Fatalf("firing %d at %v, want %v", i, fires[i], at)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("stopped recurrence left %d pending events", e.Pending())
+	}
+}
+
+func TestScheduleEveryVariablePeriod(t *testing.T) {
+	// Variable cadence, like RMAV's variable-length frames.
+	e := NewEngine()
+	delays := []Time{3, 7, 1}
+	i := 0
+	var fires []Time
+	e.ScheduleEvery(0, func(eng *Engine) Time {
+		fires = append(fires, eng.Now())
+		if i >= len(delays) {
+			return -1
+		}
+		d := delays[i]
+		i++
+		return d
+	})
+	e.Run()
+	want := []Time{0, 3, 10, 11}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for j := range want {
+		if fires[j] != want[j] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+func TestScheduleEveryCancelFromOutside(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	id := e.ScheduleEvery(0, func(*Engine) Time {
+		count++
+		return 10
+	})
+	e.Schedule(25, func(eng *Engine) {
+		if !eng.Cancel(id) {
+			t.Error("Cancel of a live recurrence returned false")
+		}
+	})
+	e.Run()
+	if count != 3 { // fires at 0, 10, 20; cancelled at 25
+		t.Fatalf("recurrence fired %d times, want 3", count)
+	}
+}
+
+func TestScheduleEveryInterleavesWithOneShots(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.ScheduleEvery(0, func(eng *Engine) Time {
+		order = append(order, "tick")
+		if eng.Now() >= 20 {
+			return -1
+		}
+		return 10
+	})
+	e.Schedule(10, func(*Engine) { order = append(order, "shot") })
+	e.Run()
+	// The tick re-armed at 10 gets a later seq than the one-shot that was
+	// scheduled first, so FIFO puts the one-shot ahead of it.
+	want := []string{"tick", "shot", "tick", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// A recycled event slot must not honour EventIDs from its previous life.
+func TestStaleEventIDAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	id1 := e.Schedule(1, func(*Engine) {})
+	e.Run()
+	id2 := e.Schedule(2, func(*Engine) {}) // reuses the freed slot
+	if e.Cancel(id1) {
+		t.Fatal("stale EventID cancelled a recycled slot")
+	}
+	if !e.Cancel(id2) {
+		t.Fatal("fresh EventID failed to cancel")
+	}
+}
+
+func TestZeroEventIDInvalid(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func(*Engine) {})
+	if e.Cancel(EventID{}) {
+		t.Fatal("zero EventID cancelled something")
+	}
+}
+
+// Steady-state scheduling must not allocate: the arena and free list
+// absorb every schedule/fire cycle once grown.
+func TestEngineSteadyStateAllocationFree(t *testing.T) {
+	e := NewEngine()
+	h := func(*Engine) {}
+	// Warm up the arena and heap to their high-water marks.
+	for j := 0; j < 64; j++ {
+		e.Schedule(e.Now()+Time(j%7), h)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			e.Schedule(e.Now()+Time(j%7), h)
+		}
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule/run allocates %v per cycle, want 0", allocs)
+	}
+}
+
+func TestEngineCancelMiddleOfLargeHeap(t *testing.T) {
+	e := NewEngine()
+	ids := make([]EventID, 0, 100)
+	fired := make(map[Time]bool)
+	for i := 0; i < 100; i++ {
+		at := Time(i)
+		ids = append(ids, e.Schedule(at, func(*Engine) { fired[at] = true }))
+	}
+	for i := 0; i < 100; i += 3 {
+		if !e.Cancel(ids[i]) {
+			t.Fatalf("Cancel(%d) failed", i)
+		}
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		want := i%3 != 0
+		if fired[Time(i)] != want {
+			t.Fatalf("event %d fired=%v, want %v", i, fired[Time(i)], want)
+		}
+	}
+}
+
 // Property: for any random schedule, events fire in non-decreasing time
 // order and every non-cancelled event fires exactly once.
 func TestEngineOrderingProperty(t *testing.T) {

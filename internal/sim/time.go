@@ -1,6 +1,7 @@
 // Package sim provides a minimal deterministic discrete-event simulation
-// engine: an integer simulated clock, a binary-heap event queue with stable
-// FIFO ordering among simultaneous events, and a run loop.
+// engine: an integer simulated clock, an allocation-free 4-ary-heap event
+// queue with stable FIFO ordering among simultaneous events, a recurring
+// frame driver (ScheduleEvery), and a run loop.
 //
 // The whole reproduction is clocked in modulation symbols of the 320 kHz
 // TDMA air interface described in the paper (Table 1): one tick is one

@@ -79,6 +79,46 @@ func (m *MeanVar) StdErr() float64 {
 // interval for the mean.
 func (m *MeanVar) CI95() float64 { return 1.96 * m.StdErr() }
 
+// TCI95 returns the half-width of a 95% Student-t confidence interval for
+// the mean — the correct interval at small sample counts (e.g. a handful
+// of simulation replications), where the normal approximation of CI95
+// understates the uncertainty. It returns 0 with fewer than two
+// observations, where no dispersion estimate exists.
+func (m *MeanVar) TCI95() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return TCritical95(int(m.n)-1) * m.StdErr()
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1–30 degrees
+// of freedom (index df-1).
+var tTable95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// TCritical95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom, converging to the normal 1.96 in the large-sample
+// limit. df below 1 yields +Inf (no interval exists).
+func TCritical95(df int) float64 {
+	switch {
+	case df < 1:
+		return math.Inf(1)
+	case df <= len(tTable95):
+		return tTable95[df-1]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.96
+	}
+}
+
 // Merge folds another accumulator into this one (parallel reduction).
 func (m *MeanVar) Merge(o *MeanVar) {
 	if o.n == 0 {

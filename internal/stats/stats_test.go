@@ -207,3 +207,52 @@ func TestSeriesSortByX(t *testing.T) {
 		t.Fatal("y/err not carried with x")
 	}
 }
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {7, 2.365}, {9, 2.262}, {30, 2.042},
+		{35, 2.021}, {50, 2.000}, {100, 1.980}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCritical95(c.df); got != c.want {
+			t.Errorf("TCritical95(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	if !math.IsInf(TCritical95(0), 1) {
+		t.Fatal("df=0 should yield +Inf")
+	}
+	// The critical value must shrink monotonically toward the normal limit.
+	prev := math.Inf(1)
+	for df := 1; df <= 200; df++ {
+		v := TCritical95(df)
+		if v > prev {
+			t.Fatalf("TCritical95 not monotone at df=%d: %v > %v", df, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMeanVarTCI95(t *testing.T) {
+	var m MeanVar
+	if m.TCI95() != 0 {
+		t.Fatal("empty TCI95 not 0")
+	}
+	m.Add(1)
+	if m.TCI95() != 0 {
+		t.Fatal("single-sample TCI95 not 0")
+	}
+	// Samples 1, 2, 3: mean 2, stddev 1, stderr 1/sqrt(3), df 2.
+	m.Add(2)
+	m.Add(3)
+	want := 4.303 / math.Sqrt(3)
+	if got := m.TCI95(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TCI95 = %v, want %v", got, want)
+	}
+	// The t interval must be wider than the normal approximation at small n.
+	if m.TCI95() <= m.CI95() {
+		t.Fatal("Student-t interval should exceed the normal interval at n=3")
+	}
+}

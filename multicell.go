@@ -1,6 +1,7 @@
 package charisma
 
 import (
+	"context"
 	"time"
 
 	"charisma/internal/multicell"
@@ -30,10 +31,11 @@ type MultiCellOptions struct {
 	DisableHandoff bool
 	// ShadowSigmaDB widens the per-cell log-normal shadowing (default 4).
 	ShadowSigmaDB float64
-	// Seed, Warmup, Duration as in Options.
-	Seed     int64
-	Warmup   time.Duration
-	Duration time.Duration
+	// Seed, Warmup, Duration, Replications as in Options.
+	Seed         int64
+	Warmup       time.Duration
+	Duration     time.Duration
+	Replications int
 }
 
 // MultiCellResult extends Result with handoff statistics.
@@ -83,11 +85,7 @@ func RunMultiCell(o MultiCellOptions) (MultiCellResult, error) {
 	if o.Duration > 0 {
 		p.DurationSec = o.Duration.Seconds()
 	}
-	d, err := multicell.New(p)
-	if err != nil {
-		return MultiCellResult{}, err
-	}
-	r, err := d.Run()
+	r, err := multicell.RunReplicated(context.Background(), p, o.Replications)
 	if err != nil {
 		return MultiCellResult{}, err
 	}
