@@ -12,6 +12,7 @@ package charisma
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"charisma/internal/core"
 	"charisma/internal/experiments"
 	"charisma/internal/mac"
+	"charisma/internal/multicell"
 	"charisma/internal/phy"
 	"charisma/internal/rng"
 	"charisma/internal/run"
@@ -446,6 +448,42 @@ func BenchmarkModeSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		amp := 0.01 + float64(i%100)*0.05
 		_ = a.ModeForAmplitude(amp)
+	}
+}
+
+// BenchmarkFrame — per-frame cost vs active-vs-total population at 10⁴
+// stations — lives beside the station registry it exercises:
+// internal/mac/registry_invariant_test.go.
+
+// BenchmarkMulticellSharded measures an 8-cell deployment advancing on 1
+// worker vs one per core: cells synchronize only at handoff decision
+// epochs, so wall-clock should scale down with cores while the numbers
+// stay byte-identical (TestShardedDeterminismAcrossWorkerCounts).
+func BenchmarkMulticellSharded(b *testing.B) {
+	for _, w := range []int{1, runtime.NumCPU()} {
+		w := w
+		b.Run(fmt.Sprintf("cells=8/workers=%d", w), func(b *testing.B) {
+			p := multicell.DefaultParams()
+			p.Cells = 8
+			p.NumVoice = 320
+			p.Workers = w
+			p.WarmupSec, p.DurationSec = 0.25, 1.5
+			for i := 0; i < b.N; i++ {
+				// Run consumes the deployment, so it is rebuilt per
+				// iteration — but construction (2.5k station clones,
+				// fading init) must not dilute the sharded frame loop
+				// this benchmark compares across worker counts.
+				b.StopTimer()
+				d, err := multicell.New(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := d.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

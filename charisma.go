@@ -87,6 +87,10 @@ type Options struct {
 	// further replication derives its own seed substream. With N ≥ 2 the
 	// result's CI95 fields report across-replication Student-t intervals.
 	Replications int
+	// Workers bounds the worker pool replications run on (default: one
+	// per CPU core). Worker count never changes the numbers — it is
+	// purely a throughput knob.
+	Workers int
 	// Warmup is excluded from metrics (default 2 s); Duration is the
 	// measurement window (default 30 s).
 	Warmup   time.Duration
@@ -216,7 +220,7 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rs, err := run.Replicated(ctx, []core.Scenario{sc}, o.Replications)
+	rs, err := run.Runner{Workers: o.Workers}.Run(ctx, run.NewPlan([]core.Scenario{sc}, o.Replications))
 	if err != nil {
 		return Result{}, err
 	}
@@ -246,7 +250,7 @@ func CompareContext(ctx context.Context, o Options, protocols ...Protocol) ([]Re
 		}
 		scs[i] = sc
 	}
-	rs, err := run.Replicated(ctx, scs, o.Replications)
+	rs, err := run.Runner{Workers: o.Workers}.Run(ctx, run.NewPlan(scs, o.Replications))
 	if err != nil {
 		return nil, err
 	}

@@ -30,6 +30,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		reps     = flag.Int("reps", 0, "override independent replications per sweep point (0 = config default)")
 		duration = flag.Float64("duration", 0, "override measured seconds per sweep point")
+		workers  = flag.Int("workers", 0, "worker goroutines for the sweep plan (0 = one per core)")
 	)
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 	if *reps > 0 {
 		rc.Replications = *reps
 	}
+	rc.Workers = *workers
 
 	if err := run(strings.ToLower(*exp), rc); err != nil {
 		fmt.Fprintln(os.Stderr, "charisma-experiments:", err)

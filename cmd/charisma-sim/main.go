@@ -6,6 +6,11 @@
 //
 //	charisma-sim -protocol charisma -voice 80 -data 10 -queue -duration 30
 //	charisma-sim -all -voice 100 -duration 20
+//	charisma-sim -cells 4 -voice 200 -workers 4 -duration 10
+//
+// With -cells ≥ 2 the run is a multi-cell deployment (§6 handoff
+// extension): cells advance on -workers goroutines between handoff
+// decision epochs, and the result pools all cells plus the handoff count.
 package main
 
 import (
@@ -30,8 +35,19 @@ func main() {
 		warmup   = flag.Float64("warmup", 2, "warm-up seconds excluded from metrics")
 		speed    = flag.Float64("speed", 0, "mobile speed in km/h (0 = paper default, 50)")
 		snr      = flag.Float64("snr", 0, "mean link SNR in dB (0 = calibrated default)")
+		cells    = flag.Int("cells", 0, "number of base stations (>= 2 runs the multi-cell handoff deployment)")
+		workers  = flag.Int("workers", 0, "worker goroutines for cells/replications (0 = one per core)")
 	)
 	flag.Parse()
+
+	if *cells >= 2 {
+		if *all {
+			fmt.Fprintln(os.Stderr, "charisma-sim: -all is not supported with -cells; pick one -protocol per deployment")
+			os.Exit(1)
+		}
+		runMultiCell(*cells, *workers, *protocol, *voice, *data, *queue, *seed, *reps, *duration, *warmup, *speed, *snr)
+		return
+	}
 
 	opts := charisma.Options{
 		Protocol:         charisma.Protocol(*protocol),
@@ -40,6 +56,7 @@ func main() {
 		WithRequestQueue: *queue,
 		Seed:             *seed,
 		Replications:     *reps,
+		Workers:          *workers,
 		Duration:         time.Duration(*duration * float64(time.Second)),
 		Warmup:           time.Duration(*warmup * float64(time.Second)),
 		SpeedKmh:         *speed,
@@ -80,5 +97,37 @@ func main() {
 				r.Protocol, 100*r.VoiceLossCI95, r.DataThroughputCI95,
 				float64(r.MeanDataDelayCI95)/float64(time.Millisecond))
 		}
+	}
+}
+
+func runMultiCell(cells, workers int, protocol string, voice, data int, queue bool, seed int64, reps int, duration, warmup, speed, snr float64) {
+	r, err := charisma.RunMultiCell(charisma.MultiCellOptions{
+		Cells:            cells,
+		Protocol:         charisma.Protocol(protocol),
+		VoiceUsers:       voice,
+		DataUsers:        data,
+		WithRequestQueue: queue,
+		Workers:          workers,
+		Seed:             seed,
+		Replications:     reps,
+		Duration:         time.Duration(duration * float64(time.Second)),
+		Warmup:           time.Duration(warmup * float64(time.Second)),
+		SpeedKmh:         speed,
+		MeanSNRdB:        snr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charisma-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("deployment: cells=%d Nv=%d Nd=%d queue=%v seed=%d reps=%d workers=%d %gs measured\n\n",
+		cells, voice, data, queue, seed, reps, workers, duration)
+	fmt.Printf("%-11s %9s %10s %10s %9s %9s\n",
+		"protocol", "Ploss", "γ(pkt/frm)", "Dd(ms)", "coll", "handoffs")
+	fmt.Printf("%-11s %8.4f%% %10.3f %10.2f %8.2f%% %9d\n",
+		r.Protocol, 100*r.VoiceLossRate, r.DataThroughputPerFrame,
+		float64(r.MeanDataDelay)/float64(time.Millisecond), 100*r.CollisionRate, r.Handoffs)
+	fmt.Println("\nper-cell voice loss:")
+	for c, loss := range r.PerCellLossRates {
+		fmt.Printf("  cell %d: %.4f%%\n", c, 100*loss)
 	}
 }

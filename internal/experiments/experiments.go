@@ -31,6 +31,9 @@ type RunConfig struct {
 	// point (values below 1 mean 1). Error bars come from the
 	// across-replication Student-t CI95.
 	Replications int
+	// Workers bounds the sweep's worker pool (values below 1 mean one
+	// per core). Purely a throughput knob: results are worker-invariant.
+	Workers int
 	// Protocols restricts the comparison set (default: all six).
 	Protocols []string
 }
@@ -115,7 +118,7 @@ func sweep(rc RunConfig, metric Metric, xs []int, build func(proto string, x int
 			scs = append(scs, build(p, x))
 		}
 	}
-	results, err := run.Replicated(context.Background(), scs, rc.replications())
+	results, err := run.Runner{Workers: rc.Workers}.Run(context.Background(), run.NewPlan(scs, rc.replications()))
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +321,7 @@ func SpeedSweep(nv int, speeds []float64, rc RunConfig) ([]SpeedPoint, error) {
 		sc.Channel.SpeedKmh = v
 		scs = append(scs, sc)
 	}
-	results, err := run.Replicated(context.Background(), scs, rc.replications())
+	results, err := run.Runner{Workers: rc.Workers}.Run(context.Background(), run.NewPlan(scs, rc.replications()))
 	if err != nil {
 		return nil, err
 	}

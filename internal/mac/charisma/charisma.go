@@ -40,13 +40,17 @@ type Protocol struct {
 	// resEst holds the BS-side CSI estimate for each admitted (reserved)
 	// voice station, refreshed by polling; indexed by station ID.
 	resEst []channel.Estimate
-	// acked marks stations whose request was received this frame.
-	acked []bool
+	// ackedAt stamps, per station ID, the frame in which the station's
+	// request was received (frame-stamped instead of cleared so marking
+	// the whole population acknowledged costs nothing per frame).
+	ackedAt []int64
 	// etaMax normalizes f(CSI) to [0,1].
 	etaMax float64
 	// avgEta tracks each station's EWMA realized throughput for the
 	// fairness extension (§6 / [22]); indexed by station ID.
 	avgEta []float64
+	// cands is the per-minislot contention candidate scratch.
+	cands []*mac.Station
 }
 
 // New returns a CHARISMA instance.
@@ -58,7 +62,10 @@ func (p *Protocol) Name() string { return "charisma" }
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
 	p.resEst = make([]channel.Estimate, len(s.Stations))
-	p.acked = make([]bool, len(s.Stations))
+	p.ackedAt = make([]int64, len(s.Stations))
+	for i := range p.ackedAt {
+		p.ackedAt[i] = -1
+	}
 	modes := s.PHY.Modes()
 	p.etaMax = modes[len(modes)-1].Eta
 	p.avgEta = make([]float64, len(s.Stations))
@@ -143,9 +150,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	g := s.Cfg.Geometry
 	budget := g.CharismaInfoSymbols()
 	s.M.AddInfoBudget(budget)
-	for i := range p.acked {
-		p.acked[i] = false
-	}
+	frame := s.FrameIndex()
 
 	// --- Gather phase ---
 
@@ -156,9 +161,10 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// packets waiting in the device buffer). These are base-station
 	// state, not contention survivors, so they retry each frame while
 	// their packets live regardless of the request-queue variant — the
-	// queue of §4.5 holds only contention-borne requests.
-	for _, st := range s.Stations {
-		if st.Reserved && !st.PendingAtBS && st.Voice.Buffered() > 0 {
+	// queue of §4.5 holds only contention-borne requests. Admitted users
+	// live in the reserved bucket of the station registry.
+	s.ForEachReserved(func(st *mac.Station) {
+		if st.Voice.Buffered() > 0 {
 			pool = append(pool, &candidate{
 				r: &mac.Request{
 					St:    st,
@@ -170,7 +176,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 				reserved: true,
 			})
 		}
-	}
+	})
 
 	// Backlog requests held at the BS (queue variant). They are
 	// re-evaluated every frame; survivors are re-enqueued at the end.
@@ -190,17 +196,17 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// Every station already represented in the pool (reservation or
 	// dequeued backlog) must not contend again this frame.
 	for _, c := range pool {
-		p.acked[c.r.St.ID] = true
+		p.ackedAt[c.r.St.ID] = frame
 	}
 
 	// Request phase: Nr contention minislots gather new requests —
 	// without announcing any allocation yet.
 	for ms := 0; ms < g.CharismaRequestSlots; ms++ {
-		w := s.Contend(p.contenders(s))
+		w := s.Contend(p.contenders(s, frame))
 		if w == nil {
 			continue
 		}
-		p.acked[w.ID] = true
+		p.ackedAt[w.ID] = frame
 		pool = append(pool, &candidate{r: s.NewRequest(w, s.RequestKind(w))})
 	}
 
@@ -256,7 +262,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			// symbols, so the BS leaves this frame with a fresh
 			// estimate for the next reservation cycle — without
 			// spending a polling slot.
-			p.resEst[st.ID] = st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.Now())
+			p.resEst[st.ID] = s.MeasureEstimate(st)
 			// Fully served or not, the reservation regenerates the
 			// request next frame for any remainder.
 			c.r = nil
@@ -314,15 +320,7 @@ func (p *Protocol) pollCSI(s *mac.System, pool []*candidate) {
 	}
 }
 
-func (p *Protocol) contenders(s *mac.System) []*mac.Station {
-	var cands []*mac.Station
-	for _, st := range s.Stations {
-		if p.acked[st.ID] {
-			continue
-		}
-		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
-			cands = append(cands, st)
-		}
-	}
-	return cands
+func (p *Protocol) contenders(s *mac.System, frame int64) []*mac.Station {
+	p.cands = s.AppendContenders(p.cands[:0], p.ackedAt, frame)
+	return p.cands
 }

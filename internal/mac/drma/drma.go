@@ -22,13 +22,17 @@ import (
 
 // Protocol is the DRMA access scheme.
 type Protocol struct {
-	served []bool
+	// servedAt stamps, per station ID, the frame in which the station was
+	// acknowledged (frame-stamped so no per-frame clearing pass is needed).
+	servedAt []int64
 	// pending holds contention winners awaiting their information slot.
 	// This is the protocol's *dynamic reservation*: a successful request
 	// stays assigned at the base station until a slot frees up, which is
 	// also why an additional explicit request queue barely helps DRMA
 	// (§5.1: the protocol has an inherent queueing property).
 	pending []*mac.Request
+	// cands is the per-minislot contention candidate scratch.
+	cands []*mac.Station
 }
 
 // New returns a DRMA instance.
@@ -39,7 +43,10 @@ func (p *Protocol) Name() string { return "drma" }
 
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
-	p.served = make([]bool, len(s.Stations))
+	p.servedAt = make([]int64, len(s.Stations))
+	for i := range p.servedAt {
+		p.servedAt[i] = -1
+	}
 	p.pending = nil
 }
 
@@ -49,26 +56,25 @@ func (p *Protocol) fixedMode(s *mac.System) phy.Mode { return s.PHY.Modes()[0] }
 func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	g := s.Cfg.Geometry
 	s.M.AddInfoBudget(g.DRMAInfoSlots * g.InfoSlotSymbols)
-	for i := range p.served {
-		p.served[i] = false
-	}
+	frame := s.FrameIndex()
 	mode := p.fixedMode(s)
 
 	// Pending grants from previous frames are served first, in FIFO
 	// order, as slots free up. Winners whose service class evaporated in
-	// the meantime (all voice packets expired, data backlog drained) are
-	// scrubbed.
+	// the meantime are scrubbed: all voice packets expired, data backlog
+	// drained, or the station left the cell entirely (a multicell handoff
+	// detaches the clone's traffic sources).
 	grants := p.pending[:0]
 	for _, r := range p.pending {
-		if (r.Kind == mac.KindVoice && r.St.Voice.Buffered() == 0 && !r.St.Voice.Talking()) ||
-			(r.Kind == mac.KindData && r.St.Data.Backlog() == 0) {
-			r.St.PendingAtBS = false
+		if (r.Kind == mac.KindVoice && (r.St.Voice == nil || (r.St.Voice.Buffered() == 0 && !r.St.Voice.Talking()))) ||
+			(r.Kind == mac.KindData && (r.St.Data == nil || r.St.Data.Backlog() == 0)) {
+			s.SetPendingAtBS(r.St, false)
 			continue
 		}
 		grants = append(grants, r)
 	}
 	for _, r := range grants {
-		p.served[r.St.ID] = true
+		p.servedAt[r.St.ID] = frame
 	}
 	reserved := s.VoiceReservationsDue()
 	ri := 0
@@ -86,7 +92,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 		if len(grants) > 0 {
 			r := grants[0]
 			grants = grants[1:]
-			r.St.PendingAtBS = false
+			s.SetPendingAtBS(r.St, false)
 			if r.Kind == mac.KindVoice {
 				if r.St.Voice.Buffered() > 0 {
 					s.TransmitVoice(r.St, mode, 1)
@@ -103,12 +109,12 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 		// slot itself is consumed by the contention process; winners
 		// are granted *later* slots of this frame (or queued).
 		for x := 0; x < g.DRMAMinislotsPerSlot; x++ {
-			cands := p.contenders(s)
+			cands := p.contenders(s, frame)
 			w := s.Contend(cands)
 			if w == nil {
 				continue
 			}
-			p.served[w.ID] = true
+			p.servedAt[w.ID] = frame
 			grants = append(grants, s.NewRequest(w, s.RequestKind(w)))
 		}
 	}
@@ -116,21 +122,13 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// Winners that found no free slot keep their dynamic reservation and
 	// take the first slots of upcoming frames.
 	for _, r := range grants {
-		r.St.PendingAtBS = true
+		s.SetPendingAtBS(r.St, true)
 	}
 	p.pending = grants
 	return g.Duration()
 }
 
-func (p *Protocol) contenders(s *mac.System) []*mac.Station {
-	var cands []*mac.Station
-	for _, st := range s.Stations {
-		if p.served[st.ID] {
-			continue
-		}
-		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
-			cands = append(cands, st)
-		}
-	}
-	return cands
+func (p *Protocol) contenders(s *mac.System, frame int64) []*mac.Station {
+	p.cands = s.AppendContenders(p.cands[:0], p.servedAt, frame)
+	return p.cands
 }

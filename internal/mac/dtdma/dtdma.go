@@ -30,7 +30,11 @@ type Protocol struct {
 	// Variable marks D-TDMA/VR: transmitter-side link adaptation.
 	Variable bool
 
-	served []bool // per-station per-frame: already acknowledged this frame
+	// servedAt stamps, per station ID, the frame in which the station was
+	// acknowledged (frame-stamped so no per-frame clearing pass is needed).
+	servedAt []int64
+	// cands is the per-minislot contention candidate scratch.
+	cands []*mac.Station
 }
 
 // New returns the fixed-rate variant (D-TDMA/FR).
@@ -49,7 +53,10 @@ func (p *Protocol) Name() string {
 
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
-	p.served = make([]bool, len(s.Stations))
+	p.servedAt = make([]int64, len(s.Stations))
+	for i := range p.servedAt {
+		p.servedAt[i] = -1
+	}
 }
 
 // txMode returns the transmission mode for a station: the fixed mode for
@@ -60,7 +67,7 @@ func (p *Protocol) txMode(s *mac.System, st *mac.Station) phy.Mode {
 	if !p.Variable {
 		return s.PHY.Modes()[0]
 	}
-	est := st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.Now())
+	est := s.MeasureEstimate(st)
 	return s.PHY.ModeForAmplitude(est.Amp)
 }
 
@@ -106,9 +113,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	g := s.Cfg.Geometry
 	budget := g.DTDMAInfoSlots * g.InfoSlotSymbols
 	s.M.AddInfoBudget(budget)
-	for i := range p.served {
-		p.served[i] = false
-	}
+	frame := s.FrameIndex()
 
 	// Phase 1: reserved voice users transmit without contention.
 	for _, st := range s.VoiceReservationsDue() {
@@ -139,12 +144,12 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 
 	// Phase 3: request contention with immediate FCFS assignment.
 	for ms := 0; ms < g.DTDMARequestSlots; ms++ {
-		cands := p.contenders(s)
+		cands := p.contenders(s, frame)
 		w := s.Contend(cands)
 		if w == nil {
 			continue
 		}
-		p.served[w.ID] = true
+		p.servedAt[w.ID] = frame
 		kind := s.RequestKind(w)
 		r := s.NewRequest(w, kind)
 		var used int
@@ -165,15 +170,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	return g.Duration()
 }
 
-func (p *Protocol) contenders(s *mac.System) []*mac.Station {
-	var cands []*mac.Station
-	for _, st := range s.Stations {
-		if p.served[st.ID] {
-			continue
-		}
-		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
-			cands = append(cands, st)
-		}
-	}
-	return cands
+func (p *Protocol) contenders(s *mac.System, frame int64) []*mac.Station {
+	p.cands = s.AppendContenders(p.cands[:0], p.servedAt, frame)
+	return p.cands
 }

@@ -51,6 +51,20 @@ type Station struct {
 	// PendingAtBS marks that a request from this station is held in the
 	// base-station request queue, so the station must not re-contend.
 	PendingAtBS bool
+
+	// Registry bookkeeping, owned by the System the station is registered
+	// with (see registry.go).
+	owner  *System
+	slot   int
+	bucket bucketKind
+	// chSynced counts the per-frame fading steps already applied; the gap
+	// to the owner's frame index is replayed lazily when the channel is
+	// next observed (see syncChannel).
+	chSynced int64
+	// wakeAt / wakeQueued track the station's live wake-queue entry while
+	// it sits in the idle bucket.
+	wakeAt     sim.Time
+	wakeQueued bool
 }
 
 // CharismaParams are the priority-metric weights of CHARISMA's eq. (2):
@@ -201,6 +215,7 @@ type System struct {
 	frameIdx int64
 	lastDur  sim.Time
 
+	reg   registry
 	queue []*Request
 
 	// DebugVoiceTx, when non-nil, observes every voice transmission
@@ -222,7 +237,18 @@ func NewSystem(cfg Config, modem phy.PHY, stations []*Station, macStream *rng.St
 	if macStream == nil {
 		return nil, fmt.Errorf("mac: nil MAC stream")
 	}
-	return &System{Cfg: cfg, PHY: modem, Stations: stations, Rand: macStream}, nil
+	s := &System{Cfg: cfg, PHY: modem, Stations: stations, Rand: macStream}
+	s.reg.init(len(stations))
+	for i, st := range stations {
+		st.owner = s
+		st.slot = i
+		st.bucket = classify(st)
+		s.reg.sets[st.bucket].set(i)
+		if st.bucket == bucketIdle {
+			s.armWake(st)
+		}
+	}
+	return s, nil
 }
 
 // Now returns the current frame's start time.
@@ -234,33 +260,47 @@ func (s *System) FrameIndex() int64 { return s.frameIdx }
 // FrameDuration returns the standard fixed frame duration.
 func (s *System) FrameDuration() sim.Time { return s.Cfg.Geometry.Duration() }
 
-// BeginFrame advances every user's channel over the previous frame and
-// realizes traffic arrivals, deadline drops, and reservation releases at
-// the new frame boundary.
+// BeginFrame realizes traffic arrivals, deadline drops, and reservation
+// releases at the new frame boundary. Only the active buckets and the idle
+// stations whose next source event is due are touched; channel fading is
+// replayed lazily per station when it is next observed (see syncChannel),
+// so the per-frame cost scales with the active population, not the cell
+// size.
 func (s *System) BeginFrame() {
-	if s.lastDur > 0 {
-		for _, st := range s.Stations {
-			st.Fading.Advance(s.lastDur)
-		}
-	}
-	for _, st := range s.Stations {
-		if st.Voice != nil {
-			gen := st.Voice.Advance(s.now)
-			s.M.VoiceGenerated.Add(uint64(gen))
-			dropped := st.Voice.DropExpired(s.now)
-			s.M.VoiceDropped.Add(uint64(dropped))
-			// A reservation lapses once the talkspurt is over and
-			// the buffer has drained (by transmission or drop).
-			if st.Reserved && !st.Voice.Talking() && st.Voice.Buffered() == 0 {
-				st.Reserved = false
-			}
-		}
-		if st.Data != nil {
-			gen := st.Data.Advance(s.now)
-			s.M.DataGenerated.Add(uint64(gen))
-		}
+	// Idle stations whose talkspurt or data burst starts this frame.
+	s.wakeDue()
+	// Every already-active station advances each frame, exactly like the
+	// legacy full-population loop did. Snapshot first: advancing can move
+	// a station between buckets mid-scan.
+	snap := s.appendIn(s.reg.frameScratch[:0], maskActive)
+	s.reg.frameScratch = snap[:0]
+	for _, st := range snap {
+		s.advanceTraffic(st)
+		s.Reindex(st)
 	}
 	s.scrubQueue()
+}
+
+// advanceTraffic realizes one station's source events up to now and applies
+// the reservation-lapse rule. Advance is idempotent within a frame, so a
+// station woken from the idle bucket may safely be visited again by the
+// active-bucket pass of the same frame.
+func (s *System) advanceTraffic(st *Station) {
+	if st.Voice != nil {
+		gen := st.Voice.Advance(s.now)
+		s.M.VoiceGenerated.Add(uint64(gen))
+		dropped := st.Voice.DropExpired(s.now)
+		s.M.VoiceDropped.Add(uint64(dropped))
+		// A reservation lapses once the talkspurt is over and
+		// the buffer has drained (by transmission or drop).
+		if st.Reserved && !st.Voice.Talking() && st.Voice.Buffered() == 0 {
+			st.Reserved = false
+		}
+	}
+	if st.Data != nil {
+		gen := st.Data.Advance(s.now)
+		s.M.DataGenerated.Add(uint64(gen))
+	}
 }
 
 // EndFrame closes the frame: dur is what the protocol consumed.
@@ -270,8 +310,52 @@ func (s *System) EndFrame(dur sim.Time) {
 	}
 	s.M.MeasuredTicks.Add(uint64(dur))
 	s.now += dur
+	if dur != s.FrameDuration() {
+		// Variable-length frame (RMAV): the lazy replay assumes every
+		// deferred step is one standard frame, so settle each channel
+		// eagerly — replay what is owed at the standard duration, then
+		// take this frame's variable-length step.
+		for _, st := range s.Stations {
+			s.syncChannel(st)
+			st.Fading.Advance(dur)
+			st.chSynced = s.frameIdx + 1
+		}
+	}
 	s.frameIdx++
 	s.lastDur = dur
+}
+
+// syncChannel replays the per-frame fading steps a station has deferred
+// since it was last observed. The replay consumes exactly the draws (same
+// count, same step size, same private stream) the legacy every-frame
+// advance did, so amplitudes at every observation point are byte-identical
+// to the eager schedule regardless of how long the station idled.
+func (s *System) syncChannel(st *Station) {
+	if st.owner != s {
+		return
+	}
+	if st.chSynced < s.frameIdx {
+		fd := s.FrameDuration()
+		for ; st.chSynced < s.frameIdx; st.chSynced++ {
+			st.Fading.Advance(fd)
+		}
+	}
+}
+
+// SyncChannel brings a station's fading process up to the state an eager
+// per-frame schedule would show at a frame boundary — after the last
+// completed frame, before the next frame's advance. External observers of
+// st.Fading between frames (the multicell handoff rule, diagnostic traces)
+// must call it before reading, since the frame loop defers fading work
+// until observation.
+func (s *System) SyncChannel(st *Station) {
+	if st.owner != s {
+		return
+	}
+	fd := s.FrameDuration()
+	for target := s.frameIdx - 1; st.chSynced < target; st.chSynced++ {
+		st.Fading.Advance(fd)
+	}
 }
 
 // NeedsVoiceRequest reports whether a station should contend for a voice
@@ -341,8 +425,17 @@ func (s *System) NewRequest(st *Station, kind Kind) *Request {
 	} else {
 		r.NPkts = st.Data.Backlog()
 	}
-	r.Est = st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
+	r.Est = s.MeasureEstimate(st)
 	return r
+}
+
+// MeasureEstimate takes a pilot-symbol CSI measurement of a station's
+// channel at the current time, settling any deferred fading steps first.
+// All scheduler-side channel observations go through here (or through
+// helpers that do), so the lazy replay is invisible to protocols.
+func (s *System) MeasureEstimate(st *Station) channel.Estimate {
+	s.syncChannel(st)
+	return st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
 }
 
 // EffectiveAmp returns the amplitude the scheduler should assume for an
@@ -370,32 +463,39 @@ func (s *System) EstimateStale(e channel.Estimate) bool {
 // §4.4: the station transmits pilot symbols in its assigned pilot slot).
 func (s *System) RefreshEstimate(st *Station) channel.Estimate {
 	s.M.CSIPolls.Inc()
-	return st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
+	return s.MeasureEstimate(st)
 }
 
 // VoiceReservationsDue returns stations whose reservation entitles a
 // transmission this frame and that actually have speech queued, ordered by
 // due time then ID for determinism.
 func (s *System) VoiceReservationsDue() []*Station {
-	var due []*Station
-	for _, st := range s.Stations {
+	// Reserved stations normally live in the reserved bucket; the
+	// talkspurt and pending buckets are included so a reservation
+	// installed by an external driver between frames (tests, handoff
+	// re-admission) is honoured before the next reindex.
+	s.reg.dueScratch = s.reg.dueScratch[:0]
+	s.forEachIn(maskReserved|maskTalkspurt|maskPending, func(st *Station) {
 		if !st.Reserved || st.NextVoiceDue > s.now {
-			continue
+			return
 		}
 		if st.Voice.Buffered() == 0 {
 			// Nothing to send this period (packet already dropped);
 			// keep the reservation cadence.
 			s.AdvanceReservation(st)
-			continue
+			return
 		}
-		due = append(due, st)
-	}
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].NextVoiceDue != due[j].NextVoiceDue {
-			return due[i].NextVoiceDue < due[j].NextVoiceDue
-		}
-		return due[i].ID < due[j].ID
+		s.reg.dueScratch = append(s.reg.dueScratch, st)
 	})
+	due := s.reg.dueScratch
+	if len(due) > 1 {
+		sort.Slice(due, func(i, j int) bool {
+			if due[i].NextVoiceDue != due[j].NextVoiceDue {
+				return due[i].NextVoiceDue < due[j].NextVoiceDue
+			}
+			return due[i].ID < due[j].ID
+		})
+	}
 	return due
 }
 
@@ -404,6 +504,16 @@ func (s *System) GrantReservation(st *Station) {
 	st.Reserved = true
 	st.NextVoiceDue = s.now + s.Cfg.Geometry.VoicePeriod
 	s.M.ReservationsGranted.Inc()
+	s.Reindex(st)
+}
+
+// SetPendingAtBS flips the "request held at the base station" flag and
+// re-buckets the station; protocols that track BS-side grants outside the
+// request queue (DRMA's dynamic reservations, RMAV's data grant) use it
+// instead of writing the field directly.
+func (s *System) SetPendingAtBS(st *Station, pending bool) {
+	st.PendingAtBS = pending
+	s.Reindex(st)
 }
 
 // AdvanceReservation moves a reservation to its next period. The cadence
@@ -423,6 +533,7 @@ func (s *System) AdvanceReservation(st *Station) {
 // Voice packets are never retransmitted (they are delay-bound): an error is
 // a loss. Returns packets sent OK and in error.
 func (s *System) TransmitVoice(st *Station, m phy.Mode, maxPkts int) (ok, errs int) {
+	s.syncChannel(st)
 	per := s.PHY.PacketErrorProb(m, st.Fading.Amplitude())
 	n := st.Voice.Buffered()
 	if n > maxPkts {
@@ -440,6 +551,7 @@ func (s *System) TransmitVoice(st *Station, m phy.Mode, maxPkts int) (ok, errs i
 	}
 	s.M.VoiceTxOK.Add(uint64(ok))
 	s.M.VoiceTxErr.Add(uint64(errs))
+	s.Reindex(st)
 	return ok, errs
 }
 
@@ -447,6 +559,7 @@ func (s *System) TransmitVoice(st *Station, m phy.Mode, maxPkts int) (ok, errs i
 // Failed packets remain queued for ARQ; successes record their queueing
 // delay. Returns successes and failures.
 func (s *System) TransmitData(st *Station, m phy.Mode, nPkts int) (ok, errs int) {
+	s.syncChannel(st)
 	per := s.PHY.PacketErrorProb(m, st.Fading.Amplitude())
 	ok, errs = st.Data.TransmitAttempts(nPkts, s.now,
 		func() bool { return !s.Rand.Bernoulli(per) },
@@ -454,6 +567,7 @@ func (s *System) TransmitData(st *Station, m phy.Mode, nPkts int) (ok, errs int)
 	)
 	s.M.DataDelivered.Add(uint64(ok))
 	s.M.DataTxErr.Add(uint64(errs))
+	s.Reindex(st)
 	return ok, errs
 }
 
@@ -475,7 +589,7 @@ func (s *System) Enqueue(r *Request) bool {
 		return false
 	}
 	s.queue = append(s.queue, r)
-	r.St.PendingAtBS = true
+	s.SetPendingAtBS(r.St, true)
 	return true
 }
 
@@ -483,7 +597,7 @@ func (s *System) Enqueue(r *Request) bool {
 func (s *System) PopQueueAt(i int) *Request {
 	r := s.queue[i]
 	s.queue = append(s.queue[:i], s.queue[i+1:]...)
-	r.St.PendingAtBS = false
+	s.SetPendingAtBS(r.St, false)
 	return r
 }
 
@@ -494,7 +608,7 @@ func (s *System) TakeQueue() []*Request {
 	q := s.queue
 	s.queue = nil
 	for _, r := range q {
-		r.St.PendingAtBS = false
+		s.SetPendingAtBS(r.St, false)
 	}
 	return q
 }
@@ -509,11 +623,11 @@ func (s *System) scrubQueue() {
 	kept := s.queue[:0]
 	for _, r := range s.queue {
 		if r.Kind == KindVoice && r.St.Voice.Buffered() == 0 {
-			r.St.PendingAtBS = false
+			s.SetPendingAtBS(r.St, false)
 			continue
 		}
 		if r.Kind == KindData && r.St.Data.Backlog() == 0 {
-			r.St.PendingAtBS = false
+			s.SetPendingAtBS(r.St, false)
 			continue
 		}
 		kept = append(kept, r)

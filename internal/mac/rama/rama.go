@@ -26,7 +26,12 @@ import (
 
 // Protocol is the RAMA access scheme.
 type Protocol struct {
-	won []bool
+	// wonAt stamps, per station ID, the frame in which the station won an
+	// auction (frame-stamped so no per-frame clearing pass is needed).
+	wonAt []int64
+	// voiceBidders/dataBidders are per-auction bidder scratch.
+	voiceBidders []*mac.Station
+	dataBidders  []*mac.Station
 }
 
 // New returns a RAMA instance.
@@ -37,7 +42,10 @@ func (p *Protocol) Name() string { return "rama" }
 
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
-	p.won = make([]bool, len(s.Stations))
+	p.wonAt = make([]int64, len(s.Stations))
+	for i := range p.wonAt {
+		p.wonAt[i] = -1
+	}
 }
 
 func (p *Protocol) fixedMode(s *mac.System) phy.Mode { return s.PHY.Modes()[0] }
@@ -64,9 +72,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	g := s.Cfg.Geometry
 	slotsLeft := g.RAMAInfoSlots
 	s.M.AddInfoBudget(slotsLeft * g.InfoSlotSymbols)
-	for i := range p.won {
-		p.won[i] = false
-	}
+	frame := s.FrameIndex()
 	mode := p.fixedMode(s)
 
 	// Reserved voice users hold their periodic slots.
@@ -99,12 +105,12 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 
 	// Auction subframe.
 	for a := 0; a < g.RAMAAuctionSlots; a++ {
-		voice, data := p.bidders(s)
+		voice, data := p.bidders(s, frame)
 		w := p.auction(s, voice, data)
 		if w == nil {
 			break
 		}
-		p.won[w.ID] = true
+		p.wonAt[w.ID] = frame
 		kind := s.RequestKind(w)
 		r := s.NewRequest(w, kind)
 		if slotsLeft > 0 {
@@ -123,17 +129,18 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	return g.Duration()
 }
 
-func (p *Protocol) bidders(s *mac.System) (voice, data []*mac.Station) {
-	for _, st := range s.Stations {
-		if p.won[st.ID] {
-			continue
+func (p *Protocol) bidders(s *mac.System, frame int64) (voice, data []*mac.Station) {
+	p.voiceBidders = p.voiceBidders[:0]
+	p.dataBidders = p.dataBidders[:0]
+	s.ForEachCandidate(func(st *mac.Station) {
+		if p.wonAt[st.ID] == frame {
+			return
 		}
-		switch {
-		case s.NeedsVoiceRequest(st):
-			voice = append(voice, st)
-		case s.NeedsDataRequest(st):
-			data = append(data, st)
+		if s.NeedsVoiceRequest(st) {
+			p.voiceBidders = append(p.voiceBidders, st)
+		} else {
+			p.dataBidders = append(p.dataBidders, st)
 		}
-	}
-	return voice, data
+	})
+	return p.voiceBidders, p.dataBidders
 }

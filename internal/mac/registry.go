@@ -1,0 +1,345 @@
+package mac
+
+import (
+	"fmt"
+	"math/bits"
+
+	"charisma/internal/sim"
+)
+
+// This file implements the state-indexed station registry: every station of
+// a System lives in exactly one bucket keyed by its MAC-visible state, and
+// the frame loop, the contention-candidate scans of all five fixed-frame
+// schedulers, and reservation service iterate only the relevant buckets
+// instead of the whole population. Bucket membership is a bitset over the
+// station's slot in System.Stations, so
+//
+//   - a state transition is an O(1) clear/set pair,
+//   - scanning a bucket union visits stations in ID order (the order the
+//     legacy full-population loops used, preserving every protocol's
+//     MAC-stream draw sequence byte for byte), and
+//   - a scan over k active stations in an n-station cell costs O(n/64 + k)
+//     word reads instead of O(n) predicate evaluations.
+//
+// Stations with no MAC work at all (silent voice source, drained data
+// queue) park in the idle bucket with an entry in a wake queue keyed by
+// their source's next event time; BeginFrame pops only the stations whose
+// talkspurt or burst actually starts this frame. Combined with the lazy
+// per-station fading replay in mac.go this makes per-frame cost scale with
+// the active population, not the cell size.
+
+// bucketKind labels the registry buckets. Classification is by priority:
+// a station matching several predicates lives in the first matching bucket,
+// so the buckets partition the population.
+type bucketKind uint8
+
+const (
+	// bucketIdle: no buffered voice, no ongoing talkspurt, no data
+	// backlog, no reservation, nothing queued at the BS.
+	bucketIdle bucketKind = iota
+	// bucketPending: a request from this station sits in the BS queue.
+	bucketPending
+	// bucketReserved: an active voice reservation.
+	bucketReserved
+	// bucketTalkspurt: in a talkspurt or holding buffered voice packets,
+	// without a reservation.
+	bucketTalkspurt
+	// bucketBacklogged: data backlog only.
+	bucketBacklogged
+
+	numBuckets
+)
+
+// bucketMask selects a union of buckets for a scan.
+type bucketMask uint8
+
+const (
+	maskPending    bucketMask = 1 << bucketPending
+	maskReserved   bucketMask = 1 << bucketReserved
+	maskTalkspurt  bucketMask = 1 << bucketTalkspurt
+	maskBacklogged bucketMask = 1 << bucketBacklogged
+
+	// maskActive covers every bucket the frame loop must advance each
+	// frame; only idle stations sit out.
+	maskActive = maskPending | maskReserved | maskTalkspurt | maskBacklogged
+	// maskContention covers every bucket that can hold a contention
+	// candidate: talkspurt and backlogged stations by definition, and
+	// reserved voice+data stations whose data backlog still contends.
+	maskContention = maskReserved | maskTalkspurt | maskBacklogged
+)
+
+func (b bucketKind) String() string {
+	switch b {
+	case bucketIdle:
+		return "idle"
+	case bucketPending:
+		return "pending-at-bs"
+	case bucketReserved:
+		return "reserved"
+	case bucketTalkspurt:
+		return "talkspurt"
+	case bucketBacklogged:
+		return "data-backlogged"
+	}
+	return "?"
+}
+
+// bitset is a fixed-capacity bit vector over station slots.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// registry holds the bucket bitsets, the idle wake queue, and the reusable
+// scan scratch of one System.
+type registry struct {
+	sets [numBuckets]bitset
+	wake wakeQueue
+
+	frameScratch []*Station // BeginFrame snapshot of the active buckets
+	dueScratch   []*Station // VoiceReservationsDue collection
+}
+
+func (r *registry) init(n int) {
+	for b := range r.sets {
+		r.sets[b] = newBitset(n)
+	}
+}
+
+// classify computes the bucket a station belongs in from its live state.
+func classify(st *Station) bucketKind {
+	switch {
+	case st.PendingAtBS:
+		return bucketPending
+	case st.Reserved:
+		return bucketReserved
+	case st.Voice != nil && (st.Voice.Talking() || st.Voice.Buffered() > 0):
+		return bucketTalkspurt
+	case st.Data != nil && st.Data.Backlog() > 0:
+		return bucketBacklogged
+	default:
+		return bucketIdle
+	}
+}
+
+// nextWake returns the station's next source event time, or -1 when the
+// station has no sources (an inert multicell clone never wakes).
+func nextWake(st *Station) sim.Time {
+	at := sim.Time(-1)
+	if st.Voice != nil {
+		at = st.Voice.NextEventAt()
+	}
+	if st.Data != nil {
+		if na := st.Data.NextArrivalAt(); at < 0 || na < at {
+			at = na
+		}
+	}
+	return at
+}
+
+// Reindex re-buckets a station after a state change. Every System method
+// that mutates MAC-visible state calls it internally; external drivers
+// (the multicell attach/detach path, tests poking Station fields directly)
+// must call it themselves for the change to reach the scan paths this
+// frame — although any station in an active bucket self-heals at the next
+// BeginFrame, which reindexes everything it advances.
+func (s *System) Reindex(st *Station) {
+	if st.owner != s {
+		return // foreign station (e.g. a clone registered with another cell)
+	}
+	b := classify(st)
+	if b != st.bucket {
+		s.reg.sets[st.bucket].clear(st.slot)
+		s.reg.sets[b].set(st.slot)
+		st.bucket = b
+	}
+	if b == bucketIdle {
+		s.armWake(st)
+	}
+}
+
+// armWake (re-)queues an idle station's next source event.
+func (s *System) armWake(st *Station) {
+	at := nextWake(st)
+	if at < 0 {
+		return
+	}
+	if st.wakeQueued && st.wakeAt == at {
+		return // live queue entry already covers this event
+	}
+	st.wakeAt = at
+	st.wakeQueued = true
+	s.reg.wake.push(wakeEntry{at: at, slot: int32(st.slot)})
+}
+
+// wakeDue pops every idle station whose next source event is due, realizes
+// its traffic, and re-buckets it. Entries are invalidated lazily: a station
+// that left the idle bucket (or re-armed at a different time) since being
+// pushed is skipped.
+func (s *System) wakeDue() {
+	for {
+		e, ok := s.reg.wake.peek()
+		if !ok || e.at > s.now {
+			return
+		}
+		s.reg.wake.pop()
+		st := s.Stations[e.slot]
+		if st.bucket != bucketIdle || !st.wakeQueued || st.wakeAt != e.at {
+			continue
+		}
+		st.wakeQueued = false
+		s.advanceTraffic(st)
+		s.Reindex(st)
+	}
+}
+
+// forEachIn visits every station in the bucket union in slot (= station ID)
+// order. fn must not re-bucket stations other than the one it was handed;
+// scans that mutate take a snapshot first.
+func (s *System) forEachIn(mask bucketMask, fn func(*Station)) {
+	sets := &s.reg.sets
+	for w := range sets[0] {
+		var word uint64
+		for b := bucketKind(0); b < numBuckets; b++ {
+			if mask&(1<<b) != 0 {
+				word |= sets[b][w]
+			}
+		}
+		base := w << 6
+		for word != 0 {
+			fn(s.Stations[base+bits.TrailingZeros64(word)])
+			word &= word - 1
+		}
+	}
+}
+
+// appendIn appends the bucket union's stations, in ID order, to dst.
+func (s *System) appendIn(dst []*Station, mask bucketMask) []*Station {
+	s.forEachIn(mask, func(st *Station) { dst = append(dst, st) })
+	return dst
+}
+
+// ForEachCandidate visits, in station-ID order, every station that
+// currently needs a voice or data request — the §2 contention population.
+// Protocols layer their per-frame "already acknowledged" filter on top.
+func (s *System) ForEachCandidate(fn func(*Station)) {
+	s.forEachIn(maskContention, func(st *Station) {
+		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
+			fn(st)
+		}
+	})
+}
+
+// AppendContenders appends to dst, in station-ID order, every contention
+// candidate whose stampedAt entry differs from frame — the shared shape of
+// the per-minislot scans: protocols stamp a station's ID with the current
+// frame when its request is acknowledged, and pass a reusable scratch as
+// dst so steady-state frames do not allocate.
+func (s *System) AppendContenders(dst []*Station, stampedAt []int64, frame int64) []*Station {
+	s.ForEachCandidate(func(st *Station) {
+		if stampedAt[st.ID] != frame {
+			dst = append(dst, st)
+		}
+	})
+	return dst
+}
+
+// ForEachReserved visits, in station-ID order, every station holding an
+// active voice reservation with no request pending at the BS — the
+// population CHARISMA regenerates reservation requests for and RMAV holds
+// persistent slots for.
+func (s *System) ForEachReserved(fn func(*Station)) {
+	s.forEachIn(maskReserved, fn)
+}
+
+// VerifyRegistry checks the registry invariants: every station sits in
+// exactly one bucket, the bucket matches its recorded label, and — at a
+// frame boundary, when no external mutation is in flight — the label
+// matches the station's live state. Exposed for the invariant tests.
+func (s *System) VerifyRegistry() error {
+	for _, st := range s.Stations {
+		n := 0
+		for b := bucketKind(0); b < numBuckets; b++ {
+			if s.reg.sets[b].has(st.slot) {
+				n++
+				if b != st.bucket {
+					return fmt.Errorf("mac: station %d in bucket %v but labeled %v", st.ID, b, st.bucket)
+				}
+			}
+		}
+		if n != 1 {
+			return fmt.Errorf("mac: station %d in %d buckets, want exactly 1", st.ID, n)
+		}
+		if want := classify(st); want != st.bucket {
+			return fmt.Errorf("mac: station %d stale: bucket %v, state says %v", st.ID, st.bucket, want)
+		}
+	}
+	return nil
+}
+
+// wakeEntry is one queued idle-station wake-up.
+type wakeEntry struct {
+	at   sim.Time
+	slot int32
+}
+
+// wakeQueue is a plain binary min-heap of wake entries ordered by time
+// (ties broken by slot for determinism). Entries are never removed in
+// place; staleness is detected at pop time against the station's current
+// wakeAt/wakeQueued fields.
+type wakeQueue struct {
+	h []wakeEntry
+}
+
+func (q *wakeQueue) less(a, b wakeEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.slot < b.slot
+}
+
+func (q *wakeQueue) peek() (wakeEntry, bool) {
+	if len(q.h) == 0 {
+		return wakeEntry{}, false
+	}
+	return q.h[0], true
+}
+
+func (q *wakeQueue) push(e wakeEntry) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(q.h[i], q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+func (q *wakeQueue) pop() wakeEntry {
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && q.less(q.h[l], q.h[m]) {
+			m = l
+		}
+		if r < last && q.less(q.h[r], q.h[m]) {
+			m = r
+		}
+		if m == i {
+			return top
+		}
+		q.h[i], q.h[m] = q.h[m], q.h[i]
+		i = m
+	}
+}

@@ -1,0 +1,193 @@
+package mac
+
+import (
+	"testing"
+
+	"charisma/internal/channel"
+	"charisma/internal/phy"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+	"charisma/internal/traffic"
+)
+
+func TestClassifyPriorityOrder(t *testing.T) {
+	v := traffic.NewVoice(traffic.DefaultVoiceParams(), rng.New(1), 0)
+	st := &Station{Voice: v}
+	// Highest priority first: pending beats reserved beats activity.
+	st.PendingAtBS = true
+	st.Reserved = true
+	if got := classify(st); got != bucketPending {
+		t.Fatalf("pending station classified %v", got)
+	}
+	st.PendingAtBS = false
+	if got := classify(st); got != bucketReserved {
+		t.Fatalf("reserved station classified %v", got)
+	}
+	st.Reserved = false
+	if got := classify(st); got != bucketTalkspurt && got != bucketIdle {
+		t.Fatalf("voice station classified %v", got)
+	}
+	inert := &Station{}
+	if got := classify(inert); got != bucketIdle {
+		t.Fatalf("inert station classified %v", got)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.has(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.set(i)
+		if !b.has(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	b.clear(64)
+	if b.has(64) {
+		t.Fatal("bit 64 survived clear")
+	}
+	if !b.has(63) || !b.has(129) {
+		t.Fatal("clear disturbed neighbours")
+	}
+}
+
+func TestWakeQueueOrdering(t *testing.T) {
+	var q wakeQueue
+	for _, e := range []wakeEntry{{at: 30, slot: 2}, {at: 10, slot: 5}, {at: 10, slot: 1}, {at: 20, slot: 0}} {
+		q.push(e)
+	}
+	want := []wakeEntry{{at: 10, slot: 1}, {at: 10, slot: 5}, {at: 20, slot: 0}, {at: 30, slot: 2}}
+	for i, w := range want {
+		got := q.pop()
+		if got != w {
+			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if _, ok := q.peek(); ok {
+		t.Fatal("queue not empty after draining")
+	}
+}
+
+func registrySystem(t *testing.T, nv, nd int) *System {
+	t.Helper()
+	n := nv + nd
+	stations := make([]*Station, n)
+	for i := 0; i < n; i++ {
+		st := &Station{ID: i, Fading: channel.NewFading(channel.DefaultParams(), rng.Derive(3, "c", string(rune('a'+i))))}
+		if i < nv {
+			st.Voice = traffic.NewVoice(traffic.DefaultVoiceParams(), rng.Derive(3, "v", string(rune('a'+i))), 0)
+		} else {
+			st.Data = traffic.NewData(traffic.DefaultDataParams(), rng.Derive(3, "d", string(rune('a'+i))), 0)
+		}
+		stations[i] = st
+	}
+	s, err := NewSystem(DefaultConfig(), phy.NewFixed(phy.DefaultParams()), stations, rng.Derive(3, "m"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSystemIndexesStations(t *testing.T) {
+	s := registrySystem(t, 3, 2)
+	if err := s.VerifyRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range s.Stations {
+		if st.owner != s || st.slot != i {
+			t.Fatalf("station %d: owner/slot not wired", i)
+		}
+	}
+}
+
+func TestReindexMovesBuckets(t *testing.T) {
+	s := registrySystem(t, 2, 0)
+	st := s.Stations[0]
+	st.Reserved = true
+	s.Reindex(st)
+	if st.bucket != bucketReserved || !s.reg.sets[bucketReserved].has(st.slot) {
+		t.Fatal("reservation did not move the station to the reserved bucket")
+	}
+	if err := s.VerifyRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	st.Reserved = false
+	s.Reindex(st)
+	if s.reg.sets[bucketReserved].has(st.slot) {
+		t.Fatal("station left in reserved bucket after release")
+	}
+	if err := s.VerifyRegistry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReindexIgnoresForeignStations(t *testing.T) {
+	s := registrySystem(t, 1, 0)
+	foreign := &Station{ID: 99}
+	s.Reindex(foreign) // must not panic or disturb the registry
+	if err := s.VerifyRegistry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleStationsWakeOnSourceEvents(t *testing.T) {
+	s := registrySystem(t, 40, 10)
+	// Drive two simulated seconds: stations must migrate between idle and
+	// active buckets as talkspurts and bursts come and go, with the wake
+	// queue (not a full scan) reactivating them.
+	sawIdle, sawActive := false, false
+	for f := 0; f < 800; f++ {
+		s.BeginFrame()
+		for _, st := range s.Stations {
+			if st.bucket == bucketIdle {
+				sawIdle = true
+			} else {
+				sawActive = true
+			}
+			// Consume everything so stations drain back to idle.
+			if st.Voice != nil {
+				for st.Voice.Buffered() > 0 {
+					st.Voice.Pop()
+				}
+			}
+			if st.Data != nil {
+				st.Data.TransmitAttempts(st.Data.Backlog(), s.Now(), func() bool { return true }, func(sim.Time) {})
+			}
+			s.Reindex(st)
+		}
+		s.EndFrame(s.FrameDuration())
+		if err := s.VerifyRegistry(); err != nil {
+			t.Fatalf("frame %d: %v", f, err)
+		}
+	}
+	if !sawIdle || !sawActive {
+		t.Fatalf("population never split across idle/active buckets (idle=%v active=%v)", sawIdle, sawActive)
+	}
+	if s.M.VoiceGenerated.Total() == 0 || s.M.DataGenerated.Total() == 0 {
+		t.Fatal("lazily woken stations generated no traffic")
+	}
+}
+
+// TestLazyChannelReplayMatchesEager pins the byte-identical property of the
+// deferred fading replay: observing a station after k idle frames must give
+// exactly the amplitude an every-frame advance would have produced.
+func TestLazyChannelReplayMatchesEager(t *testing.T) {
+	p := channel.DefaultParams()
+	eager := channel.NewFading(p, rng.Derive(9, "f"))
+	s := registrySystem(t, 1, 0)
+	st := s.Stations[0]
+	st.Fading = channel.NewFading(p, rng.Derive(9, "f"))
+	st.chSynced = 0
+
+	const k = 57
+	for i := 0; i < k; i++ {
+		eager.Advance(s.FrameDuration())
+		s.EndFrame(s.FrameDuration())
+	}
+	s.syncChannel(st)
+	if got, want := st.Fading.Amplitude(), eager.Amplitude(); got != want {
+		t.Fatalf("lazy replay amplitude %v, eager %v", got, want)
+	}
+}

@@ -32,13 +32,17 @@ import (
 // Protocol is the RMAV access scheme.
 type Protocol struct {
 	// voiceSlot records persistent voice slot assignments (one slot per
-	// frame for the whole talkspurt), per station ID.
+	// frame for the whole talkspurt), per station ID. A slot whose
+	// reservation lapsed is released lazily the next time its station
+	// re-enters the contention population.
 	voiceSlot []bool
 	// dataGrant is the data station that won the previous competitive
 	// slot; it holds up to Pmax slots in this frame only ("one or more
 	// information slots ... in the next frame", §3.2) and must contend
 	// again afterwards.
 	dataGrant *mac.Station
+	// cands is the competitive-slot candidate scratch.
+	cands []*mac.Station
 }
 
 // New returns an RMAV instance.
@@ -64,29 +68,28 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	assigned := 0
 	used := 0
 
-	for _, st := range s.Stations {
-		// Voice assignment: one slot every frame for the talkspurt.
+	// Voice assignments: one slot every frame for the talkspurt. Slot
+	// holders are exactly the stations whose MAC-level reservation is
+	// still alive, i.e. the registry's reserved bucket; a station whose
+	// reservation lapsed in BeginFrame has already left the bucket, so
+	// its slot simply stops recurring (voiceSlot is cleared when the
+	// station next contends).
+	s.ForEachReserved(func(st *mac.Station) {
 		if !p.voiceSlot[st.ID] {
-			continue
-		}
-		if !st.Reserved {
-			// Talkspurt ended (reservation lapsed in BeginFrame):
-			// the slot is released.
-			p.voiceSlot[st.ID] = false
-			continue
+			return
 		}
 		assigned++
 		if st.Voice.Buffered() > 0 {
 			s.TransmitVoice(st, mode, 1)
 			used += g.InfoSlotSymbols
 		}
-	}
+	})
 
 	// The data grant won in the previous competitive slot: up to Pmax
 	// slots in this frame only.
 	if st := p.dataGrant; st != nil {
 		p.dataGrant = nil
-		st.PendingAtBS = false
+		s.SetPendingAtBS(st, false)
 		n := st.Data.Backlog()
 		if n > g.RMAVMaxGrantSlots {
 			n = g.RMAVMaxGrantSlots
@@ -99,16 +102,19 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	}
 
 	// The single competitive slot at the end of the frame.
-	var cands []*mac.Station
-	for _, st := range s.Stations {
+	p.cands = p.cands[:0]
+	s.ForEachCandidate(func(st *mac.Station) {
 		if p.voiceSlot[st.ID] {
-			continue
+			if st.Reserved {
+				return
+			}
+			// Talkspurt ended earlier: release the stale slot and let
+			// the station contend again.
+			p.voiceSlot[st.ID] = false
 		}
-		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
-			cands = append(cands, st)
-		}
-	}
-	if w := s.Contend(cands); w != nil {
+		p.cands = append(p.cands, st)
+	})
+	if w := s.Contend(p.cands); w != nil {
 		if s.RequestKind(w) == mac.KindVoice {
 			p.voiceSlot[w.ID] = true
 			// Mark the MAC-level reservation so talkspurt-end release
@@ -117,11 +123,12 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			w.Reserved = true
 			w.NextVoiceDue = s.Now()
 			s.M.ReservationsGranted.Inc()
+			s.Reindex(w)
 		} else {
 			p.dataGrant = w
 			// The station must not re-contend while its grant is
 			// outstanding.
-			w.PendingAtBS = true
+			s.SetPendingAtBS(w, true)
 		}
 	}
 

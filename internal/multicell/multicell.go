@@ -54,6 +54,11 @@ type Params struct {
 	// DisableHandoff freezes the initial attachment (the baseline the
 	// channel-quality rule is measured against).
 	DisableHandoff bool
+	// Workers bounds the goroutines advancing cells concurrently between
+	// handoff decision epochs; values below 1 mean GOMAXPROCS. Results
+	// are byte-identical for any worker count: cells only couple at
+	// decision boundaries, where the deployment synchronizes.
+	Workers int
 	// Seed drives all randomness.
 	Seed int64
 	// WarmupSec / DurationSec bracket the measurement window.
@@ -130,9 +135,12 @@ type Deployment struct {
 	users   []*user
 	systems []*mac.System
 	protos  []mac.Protocol
+	marked  []bool // per cell: measurement window opened
 
 	handoffs uint64
 	now      sim.Time
+
+	dbScratch []float64 // per-decision clone dB cache (one entry per cell)
 }
 
 // New assembles a deployment.
@@ -193,6 +201,8 @@ func New(p Params) (*Deployment, error) {
 		d.systems = append(d.systems, sys)
 		d.protos = append(d.protos, proto)
 	}
+	d.marked = make([]bool, p.Cells)
+	d.dbScratch = make([]float64, p.Cells)
 	return d, nil
 }
 
@@ -220,28 +230,37 @@ func (d *Deployment) detach(u *user, c int, sys *mac.System) {
 			}
 			i++
 		}
+		sys.Reindex(st)
 	}
 }
 
 // Handoffs returns the number of executed handoffs.
 func (d *Deployment) Handoffs() uint64 { return d.handoffs }
 
-// decide re-evaluates every user's attachment.
+// decide re-evaluates every user's attachment. Each clone's long-term dB
+// is computed exactly once per decision (settling its lazily-deferred
+// fading first) and reused for the best-cell comparison.
 func (d *Deployment) decide() {
 	if d.p.DisableHandoff {
 		return
 	}
+	dbs := d.dbScratch
 	for _, u := range d.users {
-		curDB := u.clones[u.cell].Fading.LongTermDB()
-		best, bestDB := u.cell, curDB
 		for c, st := range u.clones {
-			if db := st.Fading.LongTermDB(); db > bestDB {
+			d.systems[c].SyncChannel(st)
+			dbs[c] = st.Fading.LongTermDB()
+		}
+		curDB := dbs[u.cell]
+		best, bestDB := u.cell, curDB
+		for c, db := range dbs {
+			if db > bestDB {
 				best, bestDB = c, db
 			}
 		}
 		if best != u.cell && bestDB-curDB >= d.p.HysteresisDB {
 			d.detach(u, u.cell, d.systems[u.cell])
 			d.attach(u, best)
+			d.systems[best].Reindex(u.clones[best])
 			d.handoffs++
 		}
 	}
@@ -256,32 +275,37 @@ type Result struct {
 }
 
 // Run executes the deployment and returns aggregated metrics.
+//
+// The deployment is sharded: cells advance on their own goroutines (bounded
+// by Params.Workers) and only synchronize at handoff decision epochs —
+// every DecisionPeriodFrames frames — instead of at every frame. Between
+// epochs the cells are fully independent (per-cell MAC streams, per-clone
+// fading streams, and traffic sources owned by exactly one attached clone),
+// so the result is byte-identical to sequential execution for any worker
+// count; parallelism is purely a throughput knob.
 func (d *Deployment) Run() (Result, error) {
 	frameDur := d.p.MAC.Geometry.Duration()
 	warmup := sim.FromSeconds(d.p.WarmupSec)
 	limit := warmup + sim.FromSeconds(d.p.DurationSec)
-	marked := false
 	frame := 0
 	for d.now < limit {
-		if !marked && d.now >= warmup {
-			for _, sys := range d.systems {
-				sys.M.Mark()
-			}
-			marked = true
+		// Frames until the next decision boundary, capped at the horizon.
+		k := d.p.DecisionPeriodFrames - frame%d.p.DecisionPeriodFrames
+		if remaining := int((limit - d.now + frameDur - 1) / frameDur); k > remaining {
+			k = remaining
 		}
-		if frame > 0 && frame%d.p.DecisionPeriodFrames == 0 {
+		_, err := run.Map(context.Background(), d.p.Workers, len(d.systems),
+			func(c int) (struct{}, error) {
+				return struct{}{}, d.advanceCell(c, k, frameDur, warmup)
+			})
+		if err != nil {
+			return Result{}, err
+		}
+		frame += k
+		d.now += sim.Time(k) * frameDur
+		if d.now < limit && frame%d.p.DecisionPeriodFrames == 0 {
 			d.decide()
 		}
-		for c, sys := range d.systems {
-			sys.BeginFrame()
-			dur := d.protos[c].RunFrame(sys)
-			if dur != frameDur {
-				return Result{}, fmt.Errorf("multicell: protocol %s produced a variable frame", d.protos[c].Name())
-			}
-			sys.EndFrame(dur)
-		}
-		d.now += frameDur
-		frame++
 	}
 
 	var agg Result
@@ -317,8 +341,30 @@ func (d *Deployment) Run() (Result, error) {
 		agg.MeanDataDelaySec = delaySum / float64(agg.DataDelivered)
 	}
 	agg.CollisionRate = stats.Ratio(agg.ReqCollisions, agg.ReqCollisions+agg.ReqSuccesses)
-	agg.Reps = mac.RepStats{Replications: 1}
+	// Reps is deliberately left zero: a single deployment run is not a
+	// replication pool, and the replication metadata flows only from the
+	// aggregation layer (RunReplicated).
 	return agg, nil
+}
+
+// advanceCell runs one cell for k frames, opening its measurement window
+// when the cell clock crosses the warm-up boundary. It runs concurrently
+// with the other cells' advances and must touch only cell-local state.
+func (d *Deployment) advanceCell(c, k int, frameDur, warmup sim.Time) error {
+	sys, proto := d.systems[c], d.protos[c]
+	for j := 0; j < k; j++ {
+		if !d.marked[c] && sys.Now() >= warmup {
+			sys.M.Mark()
+			d.marked[c] = true
+		}
+		sys.BeginFrame()
+		dur := proto.RunFrame(sys)
+		if dur != frameDur {
+			return fmt.Errorf("multicell: protocol %s produced a variable frame", proto.Name())
+		}
+		sys.EndFrame(dur)
+	}
+	return nil
 }
 
 // Run builds and runs a deployment in one call.
@@ -328,6 +374,32 @@ func Run(p Params) (Result, error) {
 		return Result{}, err
 	}
 	return d.Run()
+}
+
+// PlanJob adapts a deployment into a run.Job, so multicell sweep points
+// can join the same replication plans (and worker pool) as single-cell
+// scenarios. The job's mac.Result is the deployment-wide aggregate with
+// Frames normalized to per-cell-frame equivalents (a deployment sums
+// frames across cells; the plan currency counts the measurement window
+// once), so the generic replication fold recomputes DataThroughputPerFrame
+// in the same per-cell-frame normalization Run and RunReplicated use and
+// the result is comparable with single-cell jobs in the same plan. The
+// handoff count is a deployment-level statistic and is not carried through
+// the plan currency.
+func PlanJob(p Params, replications int) run.Job {
+	return run.Job{
+		Custom: func(seed int64) (mac.Result, error) {
+			pi := p
+			pi.Seed = seed
+			r, err := Run(pi)
+			if cells := len(r.PerCell); cells > 0 {
+				r.Result.Frames /= float64(cells)
+			}
+			return r.Result, err
+		},
+		CustomSeed:   p.Seed,
+		Replications: replications,
+	}
 }
 
 // RunReplicated executes reps independent deployments concurrently — each
@@ -348,6 +420,9 @@ func RunReplicated(ctx context.Context, p Params, reps int) (Result, error) {
 		return Result{}, err
 	}
 	if reps == 1 {
+		// The aggregation layer owns the replication metadata: stamp the
+		// single replication here, never inside Run itself.
+		outs[0].Result = mac.AggregateReplications([]mac.Result{outs[0].Result})
 		return outs[0], nil
 	}
 	flat := make([]mac.Result, reps)

@@ -3,6 +3,7 @@ package multicell
 import (
 	"context"
 	"math"
+	"runtime"
 	"testing"
 
 	"charisma/internal/core"
@@ -153,6 +154,114 @@ func TestExactlyOneLiveCloneInvariant(t *testing.T) {
 	check()
 }
 
+// TestShardedDeterminismAcrossWorkerCounts pins the sharding contract:
+// cells advance on their own goroutines between decision epochs, and the
+// result must be byte-identical to the sequential path for any shard
+// count — deployment aggregate, handoffs, and every per-cell result.
+func TestShardedDeterminismAcrossWorkerCounts(t *testing.T) {
+	p := quickParams()
+	p.Cells = 4
+	p.NumVoice, p.NumData = 40, 4
+	p.DurationSec = 4
+	var base Result
+	for i, w := range []int{1, 2, runtime.NumCPU()} {
+		pi := p
+		pi.Workers = w
+		r, err := Run(pi)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if i == 0 {
+			base = r
+			continue
+		}
+		if r.Result != base.Result || r.Handoffs != base.Handoffs {
+			t.Fatalf("workers=%d: aggregate differs from sequential", w)
+		}
+		if len(r.PerCell) != len(base.PerCell) {
+			t.Fatalf("workers=%d: %d cells, want %d", w, len(r.PerCell), len(base.PerCell))
+		}
+		for c := range r.PerCell {
+			if r.PerCell[c] != base.PerCell[c] {
+				t.Fatalf("workers=%d: cell %d differs from sequential", w, c)
+			}
+		}
+	}
+}
+
+// TestRegistryInvariantUnderSharding checks the bucket partition of every
+// cell's station registry while cells advance concurrently (run with -race
+// in CI, this also exercises the epoch barrier).
+func TestRegistryInvariantUnderSharding(t *testing.T) {
+	p := quickParams()
+	p.Cells = 3
+	p.NumVoice, p.NumData = 30, 3
+	p.DurationSec = 3
+	p.Workers = runtime.NumCPU()
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for c, sys := range d.systems {
+		if err := sys.VerifyRegistry(); err != nil {
+			t.Fatalf("cell %d: %v", c, err)
+		}
+	}
+}
+
+// TestPlanJobJoinsScenarioPlans checks the run-plan integration: a
+// multicell deployment rides the same replication plan (and seed
+// discipline) as single-cell scenarios.
+func TestPlanJobJoinsScenarioPlans(t *testing.T) {
+	p := quickParams()
+	p.NumVoice, p.NumData = 20, 8 // data traffic: the throughput normalization must survive the plan fold
+	p.DurationSec = 3
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice = 10
+	sc.WarmupSec, sc.DurationSec = 0.5, 1
+
+	plan := run.Plan{Jobs: []run.Job{
+		{Scenario: sc, Replications: 1},
+		PlanJob(p, 2),
+	}}
+	rs, err := run.Runner{}.Run(context.Background(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("%d results, want 2", len(rs))
+	}
+	if rs[0].Protocol != core.ProtoCharisma || rs[0].VoiceGenerated == 0 {
+		t.Fatal("scenario job did not run")
+	}
+	want, err := RunReplicated(context.Background(), p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.DataDelivered == 0 {
+		t.Fatal("deployment delivered no data; normalization not exercised")
+	}
+	// The plan currency normalizes Frames to per-cell-frame equivalents;
+	// every other field — in particular the per-cell-frame throughput —
+	// must match the dedicated aggregation path exactly.
+	if got, expect := rs[1].Frames, want.Frames/float64(p.Cells); math.Abs(got-expect) > 1e-9 {
+		t.Fatalf("plan job Frames %v, want %v (per-cell-frame normalization)", got, expect)
+	}
+	if math.Abs(rs[1].DataThroughputPerFrame-want.DataThroughputPerFrame) > 1e-9 {
+		t.Fatalf("plan job throughput %v, RunReplicated %v", rs[1].DataThroughputPerFrame, want.DataThroughputPerFrame)
+	}
+	got := rs[1]
+	got.Frames = want.Frames
+	got.DataThroughputPerFrame = want.DataThroughputPerFrame
+	got.InfoUtilization = want.InfoUtilization // frame-weighted; weights differ only by the constant cell factor
+	if got != want.Result {
+		t.Fatal("multicell plan job differs from RunReplicated beyond normalization")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	a, err := Run(quickParams())
 	if err != nil {
@@ -164,6 +273,30 @@ func TestDeterminism(t *testing.T) {
 	}
 	if a.VoiceLossRate != b.VoiceLossRate || a.Handoffs != b.Handoffs {
 		t.Fatal("deployment not deterministic")
+	}
+}
+
+// Regression: a handoff detaches a clone's traffic sources while DRMA's
+// protocol-internal pending list may still reference the station; the next
+// frame of the old cell must scrub the orphaned grant instead of
+// nil-dereferencing the detached sources.
+func TestHandoffWithDRMAPendingGrants(t *testing.T) {
+	p := quickParams()
+	p.Protocol = core.ProtoDRMA
+	p.Cells = 4
+	p.NumVoice, p.NumData = 60, 12
+	p.HysteresisDB = 0 // maximize handoff churn
+	p.DecisionPeriodFrames = 4
+	p.DurationSec = 6
+	d, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Handoffs() == 0 {
+		t.Fatal("scenario produced no handoffs; regression not exercised")
 	}
 }
 
@@ -205,12 +338,21 @@ func TestRunReplicatedSingleMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Replication metadata flows only from the aggregation layer: a bare
+	// deployment run carries none, RunReplicated stamps it.
+	if single.Reps.Replications != 0 {
+		t.Fatalf("Run carries rep metadata: %+v", single.Reps)
+	}
 	rep, err := RunReplicated(context.Background(), p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if rep.Reps.Replications != 1 {
+		t.Fatalf("RunReplicated(1) Replications = %d, want 1", rep.Reps.Replications)
+	}
+	rep.Result.Reps = single.Result.Reps
 	if rep.Result != single.Result || rep.Handoffs != single.Handoffs {
-		t.Fatal("1-replication RunReplicated differs from Run")
+		t.Fatal("1-replication RunReplicated differs from Run beyond rep metadata")
 	}
 }
 

@@ -299,6 +299,7 @@ func (a *Adaptive) MeanThroughputRayleigh() float64 {
 type Fixed struct {
 	p       Params
 	mode    Mode
+	modes   []Mode // cached single-element view; Modes is on the frame hot path
 	meanSNR float64
 }
 
@@ -307,11 +308,13 @@ func NewFixed(p Params) *Fixed {
 	if p.TargetBER <= 0 || p.TargetBER >= 0.5 {
 		panic(fmt.Errorf("phy: target BER %v out of (0, 0.5)", p.TargetBER))
 	}
-	return &Fixed{
+	f := &Fixed{
 		p:       p,
 		mode:    buildMode(0, 1, p.FixedThresholdDB, p.TargetBER),
 		meanSNR: mathx.DBToLinear(p.MeanSNRdB),
 	}
+	f.modes = []Mode{f.mode}
+	return f
 }
 
 // Name implements PHY.
@@ -321,7 +324,7 @@ func (f *Fixed) Name() string { return "fixed" }
 func (f *Fixed) Adaptive() bool { return false }
 
 // Modes implements PHY.
-func (f *Fixed) Modes() []Mode { return []Mode{f.mode} }
+func (f *Fixed) Modes() []Mode { return f.modes }
 
 // MeanSNR implements PHY.
 func (f *Fixed) MeanSNR() float64 { return f.meanSNR }

@@ -39,9 +39,18 @@ import (
 	"charisma/internal/rng"
 )
 
-// Job is one scenario together with its replication count.
+// Job is one simulation together with its replication count: either a
+// single-cell core scenario or, via Custom, any other seeded simulation
+// (multicell deployments plug in this way).
 type Job struct {
 	Scenario core.Scenario
+	// Custom, when non-nil, runs instead of Scenario. It receives the
+	// replication's derived seed (RepSeed(CustomSeed, i)), so non-scenario
+	// simulations replicate under exactly the same seed discipline as
+	// scenarios and can share a plan with them.
+	Custom func(seed int64) (mac.Result, error)
+	// CustomSeed is the base seed Custom replications derive from.
+	CustomSeed int64
 	// Replications is the number of independent runs pooled into this
 	// job's result; values below 1 are treated as 1.
 	Replications int
@@ -114,6 +123,13 @@ func (r Runner) Run(ctx context.Context, p Plan) ([]mac.Result, error) {
 
 	flat, err := Map(ctx, r.Workers, len(tasks), func(k int) (mac.Result, error) {
 		t := tasks[k]
+		if j := p.Jobs[t.job]; j.Custom != nil {
+			res, err := j.Custom(RepSeed(j.CustomSeed, t.rep))
+			if err != nil {
+				return mac.Result{}, fmt.Errorf("run: job %d (custom) rep %d: %w", t.job, t.rep, err)
+			}
+			return res, nil
+		}
 		sc := p.Jobs[t.job].Scenario
 		sc.Seed = RepSeed(sc.Seed, t.rep)
 		res, err := sc.Run()

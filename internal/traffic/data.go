@@ -87,6 +87,11 @@ func (d *DataSource) Advance(now sim.Time) int {
 	return gen
 }
 
+// NextArrivalAt returns the time of the next burst arrival. Advance(t) is
+// a no-op for every t before it, which is what lets a drained station sleep
+// in the MAC's wake queue instead of being advanced every frame.
+func (d *DataSource) NextArrivalAt() sim.Time { return d.nextArrival }
+
 // Backlog returns the number of packets waiting (including packets whose
 // previous transmission attempts failed).
 func (d *DataSource) Backlog() int { return d.backlog }

@@ -143,6 +143,17 @@ func (v *VoiceSource) Advance(now sim.Time) int {
 	}
 }
 
+// NextEventAt returns the time of the source's next scheduled event — a
+// packet generation or a talk/silence toggle. Advance(t) is a no-op for
+// every t before it, which is what lets an idle station sleep in the MAC's
+// wake queue instead of being advanced every frame.
+func (v *VoiceSource) NextEventAt() sim.Time {
+	if v.talking && v.nextPkt < v.stateEnd {
+		return v.nextPkt
+	}
+	return v.stateEnd
+}
+
 // Buffered returns the number of packets awaiting transmission.
 func (v *VoiceSource) Buffered() int { return len(v.buf) - v.head }
 

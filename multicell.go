@@ -29,8 +29,17 @@ type MultiCellOptions struct {
 	HandoffPeriod time.Duration
 	// DisableHandoff freezes the initial attachment (the baseline).
 	DisableHandoff bool
+	// Workers bounds the goroutines advancing cells concurrently between
+	// handoff decision epochs (default: one per CPU core). Results are
+	// byte-identical for any worker count.
+	Workers int
 	// ShadowSigmaDB widens the per-cell log-normal shadowing (default 4).
 	ShadowSigmaDB float64
+	// SpeedKmh is the mobile speed (default 50, the paper's mean; Doppler
+	// spread scales with it), as in Options.
+	SpeedKmh float64
+	// MeanSNRdB overrides the average link SNR, as in Options.
+	MeanSNRdB float64
 	// Seed, Warmup, Duration, Replications as in Options.
 	Seed         int64
 	Warmup       time.Duration
@@ -73,8 +82,15 @@ func RunMultiCell(o MultiCellOptions) (MultiCellResult, error) {
 		p.DecisionPeriodFrames = frames
 	}
 	p.DisableHandoff = o.DisableHandoff
+	p.Workers = o.Workers
 	if o.ShadowSigmaDB > 0 {
 		p.Channel.ShadowSigmaDB = o.ShadowSigmaDB
+	}
+	if o.SpeedKmh > 0 {
+		p.Channel.SpeedKmh = o.SpeedKmh
+	}
+	if o.MeanSNRdB != 0 {
+		p.PHY.MeanSNRdB = o.MeanSNRdB
 	}
 	if o.Seed != 0 {
 		p.Seed = o.Seed
