@@ -38,7 +38,7 @@ func benchPanel(b *testing.B, spec experiments.PanelSpec) {
 	b.Helper()
 	rc := benchRunConfig()
 	for i := 0; i < b.N; i++ {
-		panel, err := experiments.RunPanel(spec, rc)
+		panel, err := experiments.RunPanel(context.Background(), spec, rc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +171,7 @@ func BenchmarkFig13f_DataDelay_Queue_Nv20(b *testing.B) {
 func BenchmarkSpeedSweep(b *testing.B) {
 	rc := benchRunConfig()
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.SpeedSweep(60, []float64{10, 50, 80}, rc)
+		pts, err := experiments.SpeedSweep(context.Background(), 60, []float64{10, 50, 80}, rc)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -30,8 +30,8 @@ import (
 	"time"
 
 	"charisma/internal/core"
+	"charisma/internal/grid"
 	"charisma/internal/mac"
-	"charisma/internal/run"
 	"charisma/internal/sim"
 )
 
@@ -91,6 +91,19 @@ type Options struct {
 	// per CPU core). Worker count never changes the numbers — it is
 	// purely a throughput knob.
 	Workers int
+	// CacheDir, when set, roots an on-disk content-addressed replication
+	// cache: every (scenario, replication-seed) pair is simulated at most
+	// once across runs, so repeating a run or growing Replications only
+	// pays for the new replications.
+	CacheDir string
+	// TargetPrecision enables adaptive replication: the replication count
+	// grows past Replications until the across-replication CI95
+	// half-width of every headline metric is within TargetPrecision of
+	// its mean (relative), or MaxReplications is reached. Zero keeps the
+	// fixed Replications count.
+	TargetPrecision float64
+	// MaxReplications caps adaptive growth (default 64).
+	MaxReplications int
 	// Warmup is excluded from metrics (default 2 s); Duration is the
 	// measurement window (default 30 s).
 	Warmup   time.Duration
@@ -213,6 +226,22 @@ func Run(o Options) (Result, error) {
 	return RunContext(context.Background(), o)
 }
 
+// runScenarios executes scenarios on the sweep grid's in-process loopback
+// transport: replications resolve against the (optional) content-addressed
+// cache, grow adaptively when TargetPrecision asks for it, and merge in
+// replication order — byte-identical to the plain replication runner.
+func (o Options) runScenarios(ctx context.Context, scs []core.Scenario) ([]mac.Result, error) {
+	points := make([]grid.Point, len(scs))
+	for i, sc := range scs {
+		points[i] = grid.Point{Spec: grid.ScenarioSpec(sc), Replications: o.Replications}
+	}
+	return grid.RunPoints(ctx, points, grid.DriveConfig{
+		Cache:     grid.NewCache(o.CacheDir),
+		Precision: grid.Precision{TargetRel: o.TargetPrecision, MaxReps: o.MaxReplications},
+		Workers:   o.Workers,
+	})
+}
+
 // RunContext is Run with cancellation: a cancelled context stops pending
 // replications and returns the context's error.
 func RunContext(ctx context.Context, o Options) (Result, error) {
@@ -220,7 +249,7 @@ func RunContext(ctx context.Context, o Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	rs, err := run.Runner{Workers: o.Workers}.Run(ctx, run.NewPlan([]core.Scenario{sc}, o.Replications))
+	rs, err := o.runScenarios(ctx, []core.Scenario{sc})
 	if err != nil {
 		return Result{}, err
 	}
@@ -250,7 +279,7 @@ func CompareContext(ctx context.Context, o Options, protocols ...Protocol) ([]Re
 		}
 		scs[i] = sc
 	}
-	rs, err := run.Runner{Workers: o.Workers}.Run(ctx, run.NewPlan(scs, o.Replications))
+	rs, err := o.runScenarios(ctx, scs)
 	if err != nil {
 		return nil, err
 	}

@@ -12,27 +12,54 @@
 //	charisma-experiments -exp fig5
 //	charisma-experiments -exp fig7
 //	charisma-experiments -exp speed
+//
+// Sweeps run on the distributed sweep grid (internal/grid):
+//
+//	charisma-experiments -exp fig11 -cache-dir ~/.charisma-cache
+//	    # content-addressed replication cache: a re-run is a cache walk
+//	charisma-experiments -exp fig11a -precision 0.05 -max-reps 32
+//	    # adaptive replication: grow N per point until CI95 ≤ 5% of mean
+//	charisma-experiments -exp all -listen :9123
+//	    # serve tasks to remote `charisma-worker -coordinator` processes
+//	charisma-experiments -exp fig11a -listen :9123 -remote-only
+//	    # coordinator only: all simulation done by attached workers
+//
+// SIGINT/SIGTERM cancel the sweep cleanly: in-flight replications finish
+// or stop, nothing is written mid-render.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"charisma/internal/experiments"
+	"charisma/internal/grid"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, fig5, fig7, speed, fig11, fig12, fig13, or a panel id like fig11a")
-		quick    = flag.Bool("quick", false, "smoke-test effort (5 s per point instead of 30 s)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		reps     = flag.Int("reps", 0, "override independent replications per sweep point (0 = config default)")
-		duration = flag.Float64("duration", 0, "override measured seconds per sweep point")
-		workers  = flag.Int("workers", 0, "worker goroutines for the sweep plan (0 = one per core)")
+		exp        = flag.String("exp", "all", "experiment: all, table1, fig5, fig7, speed, fig11, fig12, fig13, or a panel id like fig11a")
+		quick      = flag.Bool("quick", false, "smoke-test effort (5 s per point instead of 30 s)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		reps       = flag.Int("reps", 0, "override independent replications per sweep point (0 = config default)")
+		duration   = flag.Float64("duration", 0, "override measured seconds per sweep point")
+		workers    = flag.Int("workers", 0, "worker goroutines for the sweep plan (0 = one per core)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed replication cache directory (empty = in-memory only)")
+		precision  = flag.Float64("precision", 0, "adaptive replication: target relative CI95 half-width ε per sweep point (0 = fixed reps)")
+		maxReps    = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
+		listen     = flag.String("listen", "", "serve grid tasks to remote charisma-worker processes on this address")
+		remoteOnly = flag.Bool("remote-only", false, "no local simulation: all work done by remote workers (requires -listen)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	rc := experiments.DefaultRunConfig()
 	if *quick {
@@ -46,14 +73,49 @@ func main() {
 		rc.Replications = *reps
 	}
 	rc.Workers = *workers
+	rc.CacheDir = *cacheDir
+	// One cache for the whole process: the in-memory tier spans panels,
+	// so figures that sweep identical scenarios (Fig. 12/13) share
+	// replications even without -cache-dir.
+	rc.Cache = grid.NewCache(*cacheDir)
+	rc.PrecisionRel = *precision
+	rc.MaxReplications = *maxReps
+	rc.Stats = &grid.SweepStats{}
 
-	if err := run(strings.ToLower(*exp), rc); err != nil {
+	if *remoteOnly && *listen == "" {
+		fmt.Fprintln(os.Stderr, "charisma-experiments: -remote-only requires -listen")
+		os.Exit(1)
+	}
+	if *listen != "" {
+		srv := grid.NewServer()
+		rc.Server = srv
+		rc.RemoteOnly = *remoteOnly
+		go func() {
+			if err := srv.ListenAndServe(ctx, *listen); err != nil && ctx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "charisma-experiments: grid server:", err)
+				stop() // a dead coordinator would hang a -remote-only sweep
+			}
+		}()
+	}
+
+	err := run(ctx, strings.ToLower(*exp), rc)
+	if rc.Server != nil {
+		// Answer 410 for a moment so polling workers drain and exit
+		// instead of waiting out their -max-idle against a vanished
+		// coordinator. Skipped when the user already hit ^C.
+		rc.Server.Close()
+		if ctx.Err() == nil {
+			time.Sleep(2 * time.Second)
+		}
+	}
+	fmt.Fprintln(os.Stderr, rc.Stats.String())
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "charisma-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, rc experiments.RunConfig) error {
+func run(ctx context.Context, exp string, rc experiments.RunConfig) error {
 	out := os.Stdout
 	static := func(which string) bool {
 		switch which {
@@ -73,7 +135,7 @@ func run(exp string, rc experiments.RunConfig) error {
 	}
 
 	if exp == "speed" {
-		pts, err := experiments.SpeedSweep(60, nil, rc)
+		pts, err := experiments.SpeedSweep(ctx, 60, nil, rc)
 		if err != nil {
 			return err
 		}
@@ -91,7 +153,7 @@ func run(exp string, rc experiments.RunConfig) error {
 		}
 		ran = true
 		fmt.Fprintf(out, "running %s ...\n", spec.ID)
-		panel, err := experiments.RunPanel(spec, rc)
+		panel, err := experiments.RunPanel(ctx, spec, rc)
 		if err != nil {
 			return err
 		}
@@ -104,7 +166,7 @@ func run(exp string, rc experiments.RunConfig) error {
 		static("table1")
 		static("fig5")
 		static("fig7")
-		pts, err := experiments.SpeedSweep(60, nil, rc)
+		pts, err := experiments.SpeedSweep(ctx, 60, nil, rc)
 		if err != nil {
 			return err
 		}

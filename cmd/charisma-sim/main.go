@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"charisma"
@@ -37,15 +40,25 @@ func main() {
 		snr      = flag.Float64("snr", 0, "mean link SNR in dB (0 = calibrated default)")
 		cells    = flag.Int("cells", 0, "number of base stations (>= 2 runs the multi-cell handoff deployment)")
 		workers  = flag.Int("workers", 0, "worker goroutines for cells/replications (0 = one per core)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed replication cache directory (single-cell runs)")
+		prec     = flag.Float64("precision", 0, "adaptive replication: target relative CI95 half-width (0 = fixed -reps)")
+		maxReps  = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
 	)
 	flag.Parse()
+
+	// Long runs die cleanly on ^C / SIGTERM instead of mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cells >= 2 {
 		if *all {
 			fmt.Fprintln(os.Stderr, "charisma-sim: -all is not supported with -cells; pick one -protocol per deployment")
 			os.Exit(1)
 		}
-		runMultiCell(*cells, *workers, *protocol, *voice, *data, *queue, *seed, *reps, *duration, *warmup, *speed, *snr)
+		if *cacheDir != "" || *prec > 0 {
+			fmt.Fprintln(os.Stderr, "charisma-sim: note: -cache-dir/-precision apply to single-cell runs only")
+		}
+		runMultiCell(ctx, *cells, *workers, *protocol, *voice, *data, *queue, *seed, *reps, *duration, *warmup, *speed, *snr)
 		return
 	}
 
@@ -61,15 +74,18 @@ func main() {
 		Warmup:           time.Duration(*warmup * float64(time.Second)),
 		SpeedKmh:         *speed,
 		MeanSNRdB:        *snr,
+		CacheDir:         *cacheDir,
+		TargetPrecision:  *prec,
+		MaxReplications:  *maxReps,
 	}
 
 	var results []charisma.Result
 	var err error
 	if *all {
-		results, err = charisma.Compare(opts)
+		results, err = charisma.CompareContext(ctx, opts)
 	} else {
 		var r charisma.Result
-		r, err = charisma.Run(opts)
+		r, err = charisma.RunContext(ctx, opts)
 		results = []charisma.Result{r}
 	}
 	if err != nil {
@@ -100,8 +116,8 @@ func main() {
 	}
 }
 
-func runMultiCell(cells, workers int, protocol string, voice, data int, queue bool, seed int64, reps int, duration, warmup, speed, snr float64) {
-	r, err := charisma.RunMultiCell(charisma.MultiCellOptions{
+func runMultiCell(ctx context.Context, cells, workers int, protocol string, voice, data int, queue bool, seed int64, reps int, duration, warmup, speed, snr float64) {
+	r, err := charisma.RunMultiCellContext(ctx, charisma.MultiCellOptions{
 		Cells:            cells,
 		Protocol:         charisma.Protocol(protocol),
 		VoiceUsers:       voice,

@@ -1,0 +1,59 @@
+// Command charisma-worker is a sweep-grid worker: it pulls (spec,
+// replication) tasks from a coordinator — a charisma-experiments process
+// started with -listen, or anything serving internal/grid's protocol —
+// runs them through the simulation engine, and streams the results back.
+//
+// Usage:
+//
+//	charisma-worker -coordinator http://host:9123
+//	charisma-worker -coordinator http://host:9123 -parallel 8 \
+//	    -cache-dir ~/.charisma-cache -max-idle 2m
+//
+// A worker-local -cache-dir short-circuits tasks the worker has already
+// simulated (content-addressed on hash(spec, rep-seed), the same keys the
+// coordinator uses). The worker exits when the coordinator reports it has
+// closed, after -max-idle without work, or on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"charisma/internal/grid"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:9123")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
+		cacheDir    = flag.String("cache-dir", "", "worker-local content-addressed replication cache")
+		poll        = flag.Duration("poll", 200*time.Millisecond, "idle re-poll interval")
+		maxIdle     = flag.Duration("max-idle", 2*time.Minute, "exit after this long without work (0 = poll forever)")
+	)
+	flag.Parse()
+
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "charisma-worker: -coordinator is required")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	w := grid.Worker{
+		Coordinator: *coordinator,
+		Parallel:    *parallel,
+		Cache:       grid.NewCache(*cacheDir),
+		Poll:        *poll,
+		MaxIdle:     *maxIdle,
+	}
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "charisma-worker:", err)
+		os.Exit(1)
+	}
+}

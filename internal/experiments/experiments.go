@@ -3,9 +3,11 @@
 // data-throughput panels, the Fig. 13 data-delay panels, the Fig. 5 fading
 // trace, the Fig. 7 ABICM curves, Table 1, and the §5.3.3 mobile-speed
 // sensitivity study. Panels fan out across protocols, sweep points and
-// independent replications as one flat plan on the replication-aware
-// runner (internal/run); error bars are across-replication Student-t
-// CI95 half-widths.
+// independent replications as one sweep-grid session (internal/grid):
+// replications are content-addressed — a re-run sweep with a cache
+// directory is a cache walk — optionally precision-adaptive, and servable
+// to remote charisma-worker processes. Error bars are across-replication
+// Student-t CI95 half-widths.
 package experiments
 
 import (
@@ -15,9 +17,9 @@ import (
 
 	"charisma/internal/channel"
 	"charisma/internal/core"
+	"charisma/internal/grid"
 	"charisma/internal/mac"
 	"charisma/internal/phy"
-	"charisma/internal/run"
 	"charisma/internal/sim"
 	"charisma/internal/stats"
 )
@@ -29,13 +31,40 @@ type RunConfig struct {
 	DurationSec float64
 	// Replications is the number of independent replications per sweep
 	// point (values below 1 mean 1). Error bars come from the
-	// across-replication Student-t CI95.
+	// across-replication Student-t CI95. When PrecisionRel is set this is
+	// the initial count the adaptive controller grows from.
 	Replications int
 	// Workers bounds the sweep's worker pool (values below 1 mean one
 	// per core). Purely a throughput knob: results are worker-invariant.
 	Workers int
 	// Protocols restricts the comparison set (default: all six).
 	Protocols []string
+
+	// CacheDir, when set, roots the on-disk content-addressed replication
+	// cache: re-running a sweep (or re-anchoring a figure) reuses every
+	// previously simulated (spec, seed) pair.
+	CacheDir string
+	// Cache overrides the per-sweep cache built from CacheDir. Set it
+	// once per process (the cmd does) so the in-memory tier spans panels:
+	// Fig. 12 and Fig. 13 sweep identical scenarios and then share every
+	// replication instead of re-simulating.
+	Cache grid.Cache
+	// PrecisionRel is the adaptive-replication target ε: each sweep point
+	// grows its replication count until every headline metric's
+	// across-replication CI95 half-width is ≤ ε·|mean| (or MaxReplications
+	// is hit). Zero keeps the fixed Replications count.
+	PrecisionRel float64
+	// MaxReplications caps adaptive growth (default grid.DefaultMaxReps).
+	MaxReplications int
+	// Server, when non-nil, exposes every sweep session to remote grid
+	// workers alongside (or instead of) the local pool.
+	Server *grid.Server
+	// RemoteOnly skips the in-process loopback workers: all simulation is
+	// done by workers attached through Server.
+	RemoteOnly bool
+	// Stats, when non-nil, accumulates simulated/cache-hit counts across
+	// the sweeps of this config.
+	Stats *grid.SweepStats
 }
 
 // DefaultRunConfig returns publication-effort settings: 30 measured seconds
@@ -107,10 +136,33 @@ func metricCI(m Metric, r mac.Result) float64 {
 	}
 }
 
-// sweep runs (protocols × xs × replications) cells as one flat plan on the
-// replication-aware runner and collects one metric per point with its
-// across-replication error bar.
-func sweep(rc RunConfig, metric Metric, xs []int, build func(proto string, x int) core.Scenario) ([]stats.Series, error) {
+// runScenarios executes one sweep's scenarios as a grid session: every
+// (scenario, replication) pair is resolved against the cache, deduplicated
+// in flight, executed by the loopback pool and any attached remote
+// workers, and merged in rep order — byte-identical to the in-process
+// run.Runner plan it replaces.
+func (rc RunConfig) runScenarios(ctx context.Context, scs []core.Scenario) ([]mac.Result, error) {
+	points := make([]grid.Point, len(scs))
+	for i, sc := range scs {
+		points[i] = grid.Point{Spec: grid.ScenarioSpec(sc), Replications: rc.replications()}
+	}
+	cache := rc.Cache
+	if cache == nil {
+		cache = grid.NewCache(rc.CacheDir)
+	}
+	return grid.RunPoints(ctx, points, grid.DriveConfig{
+		Cache:      cache,
+		Precision:  grid.Precision{TargetRel: rc.PrecisionRel, MaxReps: rc.MaxReplications},
+		Workers:    rc.Workers,
+		Server:     rc.Server,
+		RemoteOnly: rc.RemoteOnly,
+		Stats:      rc.Stats,
+	})
+}
+
+// sweep runs (protocols × xs × replications) cells as one grid session and
+// collects one metric per point with its across-replication error bar.
+func sweep(ctx context.Context, rc RunConfig, metric Metric, xs []int, build func(proto string, x int) core.Scenario) ([]stats.Series, error) {
 	protos := rc.protocols()
 	var scs []core.Scenario
 	for _, p := range protos {
@@ -118,7 +170,7 @@ func sweep(rc RunConfig, metric Metric, xs []int, build func(proto string, x int
 			scs = append(scs, build(p, x))
 		}
 	}
-	results, err := run.Runner{Workers: rc.Workers}.Run(context.Background(), run.NewPlan(scs, rc.replications()))
+	results, err := rc.runScenarios(ctx, scs)
 	if err != nil {
 		return nil, err
 	}
@@ -145,11 +197,11 @@ func DefaultDataSweep() []int { return []int{2, 5, 10, 15, 20, 25, 30} }
 // VoiceLossPanel reproduces one Fig. 11 panel: voice packet loss rate
 // versus the number of voice users, for a fixed data population and queue
 // setting.
-func VoiceLossPanel(id string, nd int, queue bool, nvs []int, rc RunConfig) (Panel, error) {
+func VoiceLossPanel(ctx context.Context, id string, nd int, queue bool, nvs []int, rc RunConfig) (Panel, error) {
 	if nvs == nil {
 		nvs = DefaultVoiceSweep()
 	}
-	series, err := sweep(rc, MetricVoiceLoss, nvs, func(proto string, nv int) core.Scenario {
+	series, err := sweep(ctx, rc, MetricVoiceLoss, nvs, func(proto string, nv int) core.Scenario {
 		sc := core.DefaultScenario(proto)
 		sc.NumVoice, sc.NumData = nv, nd
 		sc.UseQueue = queue
@@ -172,11 +224,11 @@ func VoiceLossPanel(id string, nd int, queue bool, nvs []int, rc RunConfig) (Pan
 // DataPanel reproduces one Fig. 12 (throughput) or Fig. 13 (delay) panel:
 // the metric versus the number of data users, for a fixed voice population
 // and queue setting.
-func DataPanel(id string, metric Metric, nv int, queue bool, nds []int, rc RunConfig) (Panel, error) {
+func DataPanel(ctx context.Context, id string, metric Metric, nv int, queue bool, nds []int, rc RunConfig) (Panel, error) {
 	if nds == nil {
 		nds = DefaultDataSweep()
 	}
-	series, err := sweep(rc, metric, nds, func(proto string, nd int) core.Scenario {
+	series, err := sweep(ctx, rc, metric, nds, func(proto string, nd int) core.Scenario {
 		sc := core.DefaultScenario(proto)
 		sc.NumVoice, sc.NumData = nv, nd
 		sc.UseQueue = queue
@@ -227,14 +279,14 @@ func PanelSpecs() []PanelSpec {
 }
 
 // RunPanel executes one panel by spec.
-func RunPanel(spec PanelSpec, rc RunConfig) (Panel, error) {
+func RunPanel(ctx context.Context, spec PanelSpec, rc RunConfig) (Panel, error) {
 	switch spec.Figure {
 	case 11:
-		return VoiceLossPanel(spec.ID, spec.Fixed, spec.Queue, nil, rc)
+		return VoiceLossPanel(ctx, spec.ID, spec.Fixed, spec.Queue, nil, rc)
 	case 12:
-		return DataPanel(spec.ID, MetricDataThroughput, spec.Fixed, spec.Queue, nil, rc)
+		return DataPanel(ctx, spec.ID, MetricDataThroughput, spec.Fixed, spec.Queue, nil, rc)
 	case 13:
-		return DataPanel(spec.ID, MetricDataDelay, spec.Fixed, spec.Queue, nil, rc)
+		return DataPanel(ctx, spec.ID, MetricDataDelay, spec.Fixed, spec.Queue, nil, rc)
 	default:
 		return Panel{}, fmt.Errorf("experiments: unknown figure %d", spec.Figure)
 	}
@@ -308,7 +360,7 @@ type SpeedPoint struct {
 // SpeedSweep reproduces the §5.3.3 observation: CHARISMA's performance is
 // nearly flat from 10 to 50 km/h and degrades only slightly (<5% relative)
 // at 80 km/h.
-func SpeedSweep(nv int, speeds []float64, rc RunConfig) ([]SpeedPoint, error) {
+func SpeedSweep(ctx context.Context, nv int, speeds []float64, rc RunConfig) ([]SpeedPoint, error) {
 	if speeds == nil {
 		speeds = []float64{10, 20, 30, 40, 50, 60, 70, 80}
 	}
@@ -321,7 +373,7 @@ func SpeedSweep(nv int, speeds []float64, rc RunConfig) ([]SpeedPoint, error) {
 		sc.Channel.SpeedKmh = v
 		scs = append(scs, sc)
 	}
-	results, err := run.Runner{Workers: rc.Workers}.Run(context.Background(), run.NewPlan(scs, rc.replications()))
+	results, err := rc.runScenarios(ctx, scs)
 	if err != nil {
 		return nil, err
 	}

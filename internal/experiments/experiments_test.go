@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -38,7 +39,7 @@ func TestPanelSpecsEnumerateAllEighteen(t *testing.T) {
 func TestVoiceLossPanelShape(t *testing.T) {
 	rc := tinyRC()
 	rc.Protocols = []string{core.ProtoCharisma, core.ProtoRAMA}
-	p, err := VoiceLossPanel("fig11a", 0, false, []int{10, 30}, rc)
+	p, err := VoiceLossPanel(context.Background(), "fig11a", 0, false, []int{10, 30}, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,14 +64,14 @@ func TestVoiceLossPanelShape(t *testing.T) {
 func TestDataPanelMetrics(t *testing.T) {
 	rc := tinyRC()
 	rc.Protocols = []string{core.ProtoCharisma}
-	tp, err := DataPanel("fig12a", MetricDataThroughput, 0, false, []int{5}, rc)
+	tp, err := DataPanel(context.Background(), "fig12a", MetricDataThroughput, 0, false, []int{5}, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tp.Series[0].Y[0] <= 0 {
 		t.Fatal("no data throughput measured")
 	}
-	dp, err := DataPanel("fig13a", MetricDataDelay, 0, false, []int{5}, rc)
+	dp, err := DataPanel(context.Background(), "fig13a", MetricDataDelay, 0, false, []int{5}, rc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,17 +96,17 @@ func TestRunPanelDispatch(t *testing.T) {
 		var err error
 		switch spec.Figure {
 		case 11:
-			_, err = VoiceLossPanel(spec.ID, 0, false, []int{10}, rc)
+			_, err = VoiceLossPanel(context.Background(), spec.ID, 0, false, []int{10}, rc)
 		case 12:
-			_, err = DataPanel(spec.ID, MetricDataThroughput, 0, false, []int{3}, rc)
+			_, err = DataPanel(context.Background(), spec.ID, MetricDataThroughput, 0, false, []int{3}, rc)
 		case 13:
-			_, err = DataPanel(spec.ID, MetricDataDelay, 0, false, []int{3}, rc)
+			_, err = DataPanel(context.Background(), spec.ID, MetricDataDelay, 0, false, []int{3}, rc)
 		}
 		if err != nil {
 			t.Fatalf("%s: %v", spec.ID, err)
 		}
 	}
-	if _, err := RunPanel(PanelSpec{Figure: 9}, rc); err == nil {
+	if _, err := RunPanel(context.Background(), PanelSpec{Figure: 9}, rc); err == nil {
 		t.Fatal("unknown figure accepted")
 	}
 }
@@ -155,7 +156,7 @@ func TestABICMCurvesMonotoneStaircase(t *testing.T) {
 }
 
 func TestSpeedSweepRuns(t *testing.T) {
-	pts, err := SpeedSweep(10, []float64{10, 80}, tinyRC())
+	pts, err := SpeedSweep(context.Background(), 10, []float64{10, 80}, tinyRC())
 	if err != nil {
 		t.Fatal(err)
 	}

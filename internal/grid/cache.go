@@ -1,0 +1,155 @@
+package grid
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"charisma/internal/mac"
+)
+
+// Cache stores one mac.Result per replication under its RepKey. A cache
+// only ever serves results it was handed for exactly that key, so a hit is
+// always byte-identical to re-running the simulation (mac.Result is plain
+// data and Go's JSON float formatting round-trips exactly).
+type Cache interface {
+	// Get returns the cached result for key, if present.
+	Get(key string) (mac.Result, bool)
+	// Put stores the result for key. Put is best-effort: storage errors
+	// degrade to future misses, never to failures.
+	Put(key string, r mac.Result)
+}
+
+// NewCache builds the standard cache stack: in-memory only when dir is
+// empty, otherwise an in-memory cache tiered over an on-disk one rooted at
+// dir (the -cache-dir layout: dir/<key[:2]>/<key>.json).
+func NewCache(dir string) Cache {
+	if dir == "" {
+		return NewMemCache()
+	}
+	return Tiered(NewMemCache(), DiskCache{Dir: dir})
+}
+
+// MemCache is a concurrency-safe in-memory cache.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string]mac.Result
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache {
+	return &MemCache{m: make(map[string]mac.Result)}
+}
+
+// Get implements Cache.
+func (c *MemCache) Get(key string) (mac.Result, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.m[key]
+	return r, ok
+}
+
+// Put implements Cache.
+func (c *MemCache) Put(key string, r mac.Result) {
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached replications.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DiskCache persists replication results under Dir, sharded by the first
+// two hex digits of the key so directories stay small on wide sweeps.
+// Writes are atomic (temp file + rename), so a killed sweep never leaves a
+// truncated entry behind; unreadable or corrupt entries read as misses.
+type DiskCache struct {
+	Dir string
+}
+
+func (c DiskCache) path(key string) (string, bool) {
+	// Keys are hex hashes; refuse anything that could walk the tree.
+	if len(key) < 3 || filepath.Base(key) != key {
+		return "", false
+	}
+	return filepath.Join(c.Dir, key[:2], key+".json"), true
+}
+
+// Get implements Cache.
+func (c DiskCache) Get(key string) (mac.Result, bool) {
+	p, ok := c.path(key)
+	if !ok {
+		return mac.Result{}, false
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		return mac.Result{}, false
+	}
+	var r mac.Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return mac.Result{}, false
+	}
+	return r, true
+}
+
+// Put implements Cache.
+func (c DiskCache) Put(key string, r mac.Result) {
+	p, ok := c.path(key)
+	if !ok {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// tiered reads through fast to slow, promoting slow hits, and writes both.
+type tiered struct {
+	fast *MemCache
+	slow Cache
+}
+
+// Tiered layers an in-memory cache over a slower backing cache.
+func Tiered(fast *MemCache, slow Cache) Cache {
+	return tiered{fast: fast, slow: slow}
+}
+
+// Get implements Cache.
+func (t tiered) Get(key string) (mac.Result, bool) {
+	if r, ok := t.fast.Get(key); ok {
+		return r, true
+	}
+	r, ok := t.slow.Get(key)
+	if ok {
+		t.fast.Put(key, r)
+	}
+	return r, ok
+}
+
+// Put implements Cache.
+func (t tiered) Put(key string, r mac.Result) {
+	t.fast.Put(key, r)
+	t.slow.Put(key, r)
+}

@@ -1,0 +1,88 @@
+package grid
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"charisma/internal/core"
+	"charisma/internal/mac"
+)
+
+// realResult produces a result with the full float surface exercised, so
+// the disk round trip proves exact float preservation.
+func realResult(t *testing.T) mac.Result {
+	t.Helper()
+	r, err := ScenarioSpec(tinyScenario(core.ProtoCharisma, 10, 3)).RunRep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestDiskCacheRoundTripExact(t *testing.T) {
+	c := DiskCache{Dir: t.TempDir()}
+	r := realResult(t)
+	key := RepKey("deadbeef", 42)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, r)
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("disk round trip not exact:\n%+v\n%+v", r, got)
+	}
+}
+
+func TestDiskCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := DiskCache{Dir: dir}
+	key := RepKey("deadbeef", 1)
+	c.Put(key, mac.Result{Protocol: "x"})
+	p := filepath.Join(dir, key[:2], key+".json")
+	if err := os.WriteFile(p, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as hit")
+	}
+}
+
+func TestDiskCacheRejectsUnsafeKeys(t *testing.T) {
+	c := DiskCache{Dir: t.TempDir()}
+	for _, key := range []string{"", "ab", "../../etc/passwd", "a/b"} {
+		c.Put(key, mac.Result{})
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("unsafe key %q round-tripped", key)
+		}
+	}
+}
+
+func TestTieredPromotesDiskHits(t *testing.T) {
+	disk := DiskCache{Dir: t.TempDir()}
+	key := RepKey("cafe00", 3)
+	want := mac.Result{Protocol: "y", Frames: 12.5}
+	disk.Put(key, want)
+	mem := NewMemCache()
+	c := Tiered(mem, disk)
+	got, ok := c.Get(key)
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("tiered miss through to disk: %v %+v", ok, got)
+	}
+	if _, ok := mem.Get(key); !ok {
+		t.Fatal("disk hit not promoted to memory")
+	}
+}
+
+func TestNewCacheSelectsStack(t *testing.T) {
+	if _, ok := NewCache("").(*MemCache); !ok {
+		t.Fatal("empty dir should build a memory-only cache")
+	}
+	if _, ok := NewCache(t.TempDir()).(tiered); !ok {
+		t.Fatal("dir should build a tiered cache")
+	}
+}

@@ -1,0 +1,36 @@
+// Package grid is the distributed sweep subsystem: it farms replicated
+// simulation jobs out to workers, never simulates the same (spec, seed)
+// pair twice, and spends replications where the confidence intervals are
+// widest.
+//
+// The paper's figures are built from replicated stochastic sweeps — every
+// sweep point is N independent runs of one parameterized simulation, pooled
+// by mac.AggregateReplications. This package makes those sweeps
+// content-addressed and transportable:
+//
+//   - A JobSpec is a declarative, serializable description of one
+//     simulation — a single-cell core.Scenario or a multicell deployment —
+//     parameters, not closures. It has a canonical JSON encoding (plus a
+//     framed binary envelope) and a stable SHA-256 content hash, replacing
+//     the unserializable run.Job.Custom path as the plan-transport boundary.
+//   - A Cache stores one mac.Result per replication under
+//     RepKey(hash(JobSpec), RepSeed): repeated sweep points and re-anchored
+//     figures reuse prior replications, and a re-run sweep is a cache walk.
+//     Caches compose: in-memory, on-disk (a -cache-dir), or tiered.
+//   - A Session is the coordinator core: it expands points into
+//     (spec, rep) tasks, resolves them against the cache, dedups identical
+//     in-flight (spec, seed) pairs across points, and merges completed
+//     replications in rep-index order, so results are byte-identical no
+//     matter which transport executed them.
+//   - Transports: RunLocal drives a session with in-process loopback
+//     workers; Server exposes the same session over HTTP so
+//     cmd/charisma-worker processes can pull tasks and stream results
+//     back. Every sweep path — loopback, multi-worker, warm cache —
+//     exercises the same scheduling code.
+//   - Precision is the adaptive replication controller: a point's
+//     replication count grows until the across-replication Student-t CI95
+//     half-width of every applicable headline metric falls to within
+//     TargetRel of its mean (or a hard cap). New replications are seeded
+//     via run.RepSeed, so a grown sweep is a byte-identical extension of a
+//     fixed-N one.
+package grid

@@ -1,0 +1,145 @@
+package grid
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Wire envelope types: the session id pins results to the sweep that
+// issued the task, so a slow worker posting into a later sweep of the same
+// coordinator process is rejected instead of corrupting it.
+type wireTask struct {
+	Session string
+	Task
+}
+
+type wireResult struct {
+	Session string
+	TaskResult
+}
+
+// maxResultBody bounds a posted result; a mac.Result is a few hundred
+// bytes of JSON.
+const maxResultBody = 1 << 20
+
+// Server exposes sessions to remote workers over HTTP — the
+// coordinator/worker protocol:
+//
+//	GET  /task   → 200 {Session, Point, Rep, Spec} | 204 no work right
+//	               now (poll again) | 410 coordinator closed (exit)
+//	POST /result ← {Session, Point, Rep, Err?, Result} → 204 | 409 stale
+//	GET  /stats  → 200 {Executed, CacheHits, Done}
+//
+// One server outlives its sessions: a multi-sweep run attaches each
+// sweep's session in turn and workers keep polling across the gaps.
+type Server struct {
+	mu     sync.Mutex
+	sess   *Session
+	sessID string
+	seq    int
+	closed bool
+}
+
+// NewServer returns a server with no session attached (workers poll 204
+// until one arrives).
+func NewServer() *Server { return &Server{} }
+
+// Attach makes s the current session new tasks are served from. Results
+// for previously attached sessions are rejected as stale.
+func (sv *Server) Attach(s *Session) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.seq++
+	sv.sess = s
+	sv.sessID = "s" + strconv.Itoa(sv.seq)
+}
+
+// Close makes /task answer 410 so polling workers drain and exit.
+func (sv *Server) Close() {
+	sv.mu.Lock()
+	sv.closed = true
+	sv.mu.Unlock()
+}
+
+func (sv *Server) current() (s *Session, id string, closed bool) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	return sv.sess, sv.sessID, sv.closed
+}
+
+// ServeHTTP implements the protocol above.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/task":
+		sess, id, closed := sv.current()
+		if closed {
+			w.WriteHeader(http.StatusGone)
+			return
+		}
+		if sess == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		t, ok, _ := sess.TryNext()
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, wireTask{Session: id, Task: t})
+
+	case r.Method == http.MethodPost && r.URL.Path == "/result":
+		var res wireResult
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxResultBody)).Decode(&res); err != nil {
+			http.Error(w, "bad result: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sess, id, _ := sv.current()
+		if sess == nil || res.Session != id {
+			http.Error(w, "stale session", http.StatusConflict)
+			return
+		}
+		if err := sess.Complete(res.TaskResult); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+
+	case r.Method == http.MethodGet && r.URL.Path == "/stats":
+		sess, _, _ := sv.current()
+		st := struct {
+			Executed  int
+			CacheHits int
+			Done      bool
+		}{}
+		if sess != nil {
+			st.Executed, st.CacheHits, st.Done = sess.Executed(), sess.CacheHits(), sess.Done()
+		}
+		writeJSON(w, st)
+
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// ListenAndServe serves the coordinator on addr until the context is
+// cancelled.
+func (sv *Server) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{Addr: addr, Handler: sv}
+	stop := context.AfterFunc(ctx, func() { srv.Close() })
+	defer stop()
+	err := srv.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return ctx.Err()
+	}
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,468 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"charisma/internal/mac"
+	"charisma/internal/run"
+	"charisma/internal/stats"
+)
+
+// Precision configures the adaptive replication controller. The zero value
+// disables adaptation: every point runs exactly its requested replications.
+type Precision struct {
+	// TargetRel is the target relative precision ε: a sweep point stops
+	// growing once, for every headline metric with a nonzero mean (voice
+	// loss, data throughput, mean data delay), the across-replication
+	// Student-t CI95 half-width is ≤ ε·|mean|. Zero or negative disables
+	// adaptation.
+	TargetRel float64
+	// MaxReps is the hard cap on a point's replication count; values
+	// below 1 mean DefaultMaxReps.
+	MaxReps int
+}
+
+// DefaultMaxReps caps adaptive growth when Precision.MaxReps is unset.
+const DefaultMaxReps = 64
+
+// Enabled reports whether adaptation is active.
+func (p Precision) Enabled() bool { return p.TargetRel > 0 }
+
+func (p Precision) repCap() int {
+	if p.MaxReps > 0 {
+		return p.MaxReps
+	}
+	return DefaultMaxReps
+}
+
+// Point is one sweep point: a spec plus its initial replication count
+// (grown further when the session's Precision asks for it).
+type Point struct {
+	Spec JobSpec
+	// Replications is the initial independent-run count; below 1 means 1.
+	Replications int
+}
+
+// Task is one schedulable unit of work: replication Rep of the point's
+// spec. The spec rides along so a worker needs no side channel.
+type Task struct {
+	Point int
+	Rep   int
+	Spec  JobSpec
+}
+
+// TaskResult reports one executed task. Err is a string so the type
+// crosses the wire; an empty Err means Result is valid.
+type TaskResult struct {
+	Point  int
+	Rep    int
+	Err    string `json:",omitempty"`
+	Result mac.Result
+}
+
+// ref addresses one (point, rep) slot awaiting a shared task's result.
+type ref struct{ point, rep int }
+
+type pointState struct {
+	scheduled int // replications targeted so far (cached + queued + running)
+	completed int // replications resolved (success or failure)
+	failed    int
+	settled   bool // no further growth; completed == scheduled
+	results   []mac.Result
+	ok        []bool
+	errs      []error
+}
+
+// Session is one sweep's coordinator state. It is safe for concurrent use
+// by any mix of transports: loopback workers, the HTTP server, and cache
+// resolution all pull from and complete into the same queue, so every
+// execution path runs the same scheduling code.
+//
+// Replications are merged in rep-index order per point, and adaptive
+// growth decisions depend only on completed results — never on timing or
+// on which transport ran a task — so a session's Results are
+// byte-identical across transports and across warm-cache re-runs.
+type Session struct {
+	points []Point
+	hashes []string
+	cache  Cache
+	prec   Precision
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []Task
+	inflight map[string][]ref
+	states   []*pointState
+	executed int
+	hits     int
+	closed   bool
+}
+
+// NewSession validates and hashes every point, resolves the initial
+// replications against the cache, and queues the misses. Identical
+// (spec, rep-seed) pairs — within a point or across points — are
+// deduplicated: one simulation feeds every slot that wants it.
+func NewSession(points []Point, cache Cache, prec Precision) (*Session, error) {
+	if cache == nil {
+		cache = NewMemCache()
+	}
+	s := &Session{
+		points:   points,
+		hashes:   make([]string, len(points)),
+		cache:    cache,
+		prec:     prec,
+		inflight: make(map[string][]ref),
+		states:   make([]*pointState, len(points)),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for j, pt := range points {
+		if err := pt.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("grid: point %d: %w", j, err)
+		}
+		h, err := pt.Spec.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("grid: point %d: %w", j, err)
+		}
+		s.hashes[j] = h
+		s.states[j] = &pointState{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var work []int
+	for j, pt := range points {
+		n := pt.Replications
+		if n < 1 {
+			n = 1
+		}
+		if s.prec.Enabled() && n > s.prec.repCap() {
+			n = s.prec.repCap()
+		}
+		s.growPoint(j, n, &work)
+	}
+	s.settleLoop(work)
+	s.checkDone()
+	return s, nil
+}
+
+// repKey derives the content address of (point j, rep). It reads only
+// immutable session state, so no lock is needed.
+func (s *Session) repKey(j, rep int) string {
+	return RepKey(s.hashes[j], run.RepSeed(s.points[j].Spec.BaseSeed(), rep))
+}
+
+// growPoint raises point j's target to target reps, resolving each new rep
+// against the cache and queueing misses. Caller holds s.mu.
+func (s *Session) growPoint(j, target int, work *[]int) {
+	st := s.states[j]
+	for rep := st.scheduled; rep < target; rep++ {
+		st.results = append(st.results, mac.Result{})
+		st.ok = append(st.ok, false)
+		s.scheduleRep(j, rep)
+	}
+	st.scheduled = target
+	if st.completed == st.scheduled {
+		*work = append(*work, j)
+	}
+}
+
+// scheduleRep resolves one (point, rep) slot: cache hit, join an in-flight
+// identical task, or enqueue a fresh one. Caller holds s.mu.
+func (s *Session) scheduleRep(j, rep int) {
+	key := s.repKey(j, rep)
+	if res, ok := s.cache.Get(key); ok {
+		st := s.states[j]
+		st.results[rep] = res
+		st.ok[rep] = true
+		st.completed++
+		s.hits++
+		return
+	}
+	if refs, ok := s.inflight[key]; ok {
+		s.inflight[key] = append(refs, ref{j, rep})
+		return
+	}
+	s.inflight[key] = []ref{{j, rep}}
+	s.queue = append(s.queue, Task{Point: j, Rep: rep, Spec: s.points[j].Spec})
+	s.cond.Broadcast()
+}
+
+// settleLoop drains completed points: each either settles or grows, and a
+// growth that is fully served by the cache re-enters the loop. Caller
+// holds s.mu.
+func (s *Session) settleLoop(work []int) {
+	for len(work) > 0 {
+		j := work[0]
+		work = work[1:]
+		st := s.states[j]
+		if st.settled || st.completed != st.scheduled {
+			continue
+		}
+		if target := s.nextTarget(j); target > st.scheduled {
+			s.growPoint(j, target, &work)
+		} else {
+			st.settled = true
+		}
+	}
+}
+
+// nextTarget is the adaptive controller's decision for a completed point:
+// the new replication target, or the current one to settle. It is a pure
+// function of the point's completed results, so growth is deterministic
+// across transports. Caller holds s.mu.
+func (s *Session) nextTarget(j int) int {
+	st := s.states[j]
+	if !s.prec.Enabled() {
+		return st.scheduled
+	}
+	repCap := s.prec.repCap()
+	if st.scheduled >= repCap {
+		return st.scheduled
+	}
+	if st.failed > 0 {
+		// A failing spec won't converge by replication; stop spending.
+		return st.scheduled
+	}
+	if st.completed >= 2 && s.converged(st) {
+		return st.scheduled
+	}
+	// Grow by half, at least one, capped — a geometric schedule keeps the
+	// number of synchronization rounds logarithmic in the final N.
+	next := st.scheduled + st.scheduled/2
+	if next <= st.scheduled {
+		next = st.scheduled + 1
+	}
+	if next > repCap {
+		next = repCap
+	}
+	return next
+}
+
+// converged reports whether every applicable headline metric meets the
+// target relative precision across the point's successful replications.
+// Metrics with a zero mean (e.g. data delay in a voice-only cell) carry no
+// relative-precision requirement.
+func (s *Session) converged(st *pointState) bool {
+	metrics := [...]func(mac.Result) float64{
+		func(r mac.Result) float64 { return r.VoiceLossRate },
+		func(r mac.Result) float64 { return r.DataThroughputPerFrame },
+		func(r mac.Result) float64 { return r.MeanDataDelaySec },
+	}
+	for _, metric := range metrics {
+		var mv stats.MeanVar
+		for i, ok := range st.ok {
+			if ok {
+				mv.Add(metric(st.results[i]))
+			}
+		}
+		mean := math.Abs(mv.Mean())
+		if mean == 0 {
+			continue
+		}
+		if mv.TCI95() > s.prec.TargetRel*mean {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDone closes the session when every point has settled. Caller holds
+// s.mu.
+func (s *Session) checkDone() {
+	for _, st := range s.states {
+		if !st.settled {
+			return
+		}
+	}
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+}
+
+// TryNext pops a queued task without blocking. ok reports a task was
+// returned; done reports the session has finished (no task will ever come
+// again). Neither ok nor done means the queue is momentarily empty — more
+// tasks may appear when adaptive growth triggers.
+func (s *Session) TryNext() (t Task, ok, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) > 0 {
+		t = s.queue[0]
+		s.queue = s.queue[1:]
+		return t, true, false
+	}
+	return Task{}, false, s.closed
+}
+
+// NextWait blocks until a task is available, the session finishes, or the
+// context is cancelled; ok is false in the latter two cases.
+func (s *Session) NextWait(ctx context.Context) (Task, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed || ctx.Err() != nil {
+			return Task{}, false
+		}
+		if len(s.queue) > 0 {
+			t := s.queue[0]
+			s.queue = s.queue[1:]
+			return t, true
+		}
+		s.cond.Wait()
+	}
+}
+
+// Complete records one executed task's outcome, caches successes, fans the
+// result out to every deduplicated (point, rep) slot, and runs the
+// adaptive controller on points it completed. Duplicate or stray
+// deliveries are ignored.
+func (s *Session) Complete(r TaskResult) error {
+	if r.Point < 0 || r.Point >= len(s.points) {
+		return fmt.Errorf("grid: result for unknown point %d", r.Point)
+	}
+	if r.Rep < 0 {
+		return fmt.Errorf("grid: result for negative rep %d", r.Rep)
+	}
+	key := s.repKey(r.Point, r.Rep)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	refs := s.inflight[key]
+	delete(s.inflight, key)
+	if len(refs) == 0 {
+		// Duplicate or stray delivery: drop it *before* touching the
+		// cache, so an unscheduled (point, rep) can never plant a result
+		// under a key a future sweep would legitimately look up.
+		return nil
+	}
+	var taskErr error
+	if r.Err != "" {
+		taskErr = errors.New(r.Err)
+	} else {
+		s.cache.Put(key, r.Result)
+	}
+	s.executed++
+	var work []int
+	for _, rf := range refs {
+		st := s.states[rf.point]
+		if st.ok[rf.rep] {
+			continue
+		}
+		if taskErr != nil {
+			st.errs = append(st.errs, fmt.Errorf("grid: point %d rep %d: %w", rf.point, rf.rep, taskErr))
+			st.failed++
+		} else {
+			st.results[rf.rep] = r.Result
+			st.ok[rf.rep] = true
+		}
+		st.completed++
+		if st.completed == st.scheduled {
+			work = append(work, rf.point)
+		}
+	}
+	s.settleLoop(work)
+	s.checkDone()
+	s.cond.Broadcast()
+	return nil
+}
+
+// Wait blocks until the session finishes or the context is cancelled.
+func (s *Session) Wait(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.cond.Wait()
+	}
+	return nil
+}
+
+// Done reports whether every point has settled.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Executed returns the number of simulations actually run for this
+// session (cache hits and deduplicated shares excluded).
+func (s *Session) Executed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.executed
+}
+
+// CacheHits returns the number of replication slots served by the cache.
+func (s *Session) CacheHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// Replications returns how many replications point j settled on — the
+// initial count, or more when the adaptive controller grew it.
+func (s *Session) Replications(j int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.states[j].scheduled
+}
+
+// Results aggregates each point's successful replications, in rep-index
+// order, via mac.AggregateReplications. Like run.Runner, failures never
+// discard a sweep: partial per-point aggregates are returned alongside the
+// joined error (which also flags an unfinished session).
+func (s *Session) Results() ([]mac.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]mac.Result, len(s.points))
+	var errs []error
+	for j, st := range s.states {
+		good := make([]mac.Result, 0, st.completed-st.failed)
+		for i, ok := range st.ok {
+			if ok {
+				good = append(good, st.results[i])
+			}
+		}
+		out[j] = mac.AggregateReplications(good)
+		errs = append(errs, st.errs...)
+	}
+	if !s.closed {
+		errs = append(errs, errors.New("grid: session incomplete"))
+	}
+	return out, errors.Join(errs...)
+}
+
+// SweepStats accumulates grid activity across the sessions of one process
+// (a multi-panel experiments run attaches one session per sweep).
+type SweepStats struct {
+	Simulated int
+	CacheHits int
+}
+
+// Observe folds one finished session's counters into the stats.
+func (st *SweepStats) Observe(s *Session) {
+	st.Simulated += s.Executed()
+	st.CacheHits += s.CacheHits()
+}
+
+// String renders the counters for operator output.
+func (st *SweepStats) String() string {
+	return fmt.Sprintf("grid: %d simulated, %d cache hits", st.Simulated, st.CacheHits)
+}

@@ -1,0 +1,205 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"charisma/internal/run"
+)
+
+// Worker pulls (spec, rep) tasks from a coordinator Server and streams
+// results back — the client half of the grid protocol, shared by
+// cmd/charisma-worker and the in-process tests so both exercise the same
+// code.
+type Worker struct {
+	// Coordinator is the base URL of the coordinator server.
+	Coordinator string
+	// Parallel bounds concurrent simulations; below 1 means one per core.
+	Parallel int
+	// Cache, when non-nil, short-circuits tasks whose RepKey the worker
+	// already holds (a worker-local -cache-dir).
+	Cache Cache
+	// Poll is the idle re-poll interval (default 200 ms).
+	Poll time.Duration
+	// MaxIdle exits the worker after this long without work — including
+	// an unreachable coordinator. Zero means poll forever.
+	MaxIdle time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Run polls for tasks until the coordinator reports it has closed (410),
+// MaxIdle elapses without work, or the context is cancelled.
+func (w Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return errors.New("grid: worker needs a coordinator URL")
+	}
+	base := strings.TrimSuffix(w.Coordinator, "/")
+	n := w.Parallel
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	client := w.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.loop(ctx, client, base, poll)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll time.Duration) error {
+	idleSince := time.Now()
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		wt, status, err := fetchTask(ctx, client, base)
+		switch {
+		case status == http.StatusGone:
+			return nil
+		case err != nil || status == http.StatusNoContent:
+			if w.MaxIdle > 0 && time.Since(idleSince) > w.MaxIdle {
+				if err != nil {
+					return fmt.Errorf("grid: worker gave up after %v idle: %w", w.MaxIdle, err)
+				}
+				return nil
+			}
+			if serr := sleepCtx(ctx, poll); serr != nil {
+				return serr
+			}
+		case status == http.StatusOK:
+			idleSince = time.Now()
+			if perr := postResult(ctx, client, base, w.execute(wt)); perr != nil {
+				return perr
+			}
+		default:
+			return fmt.Errorf("grid: coordinator answered %d to /task", status)
+		}
+	}
+}
+
+// execute runs one task (or serves it from the worker-local cache) and
+// wraps the outcome for the wire.
+func (w Worker) execute(wt wireTask) wireResult {
+	out := wireResult{Session: wt.Session, TaskResult: TaskResult{Point: wt.Point, Rep: wt.Rep}}
+	if err := wt.Spec.Validate(); err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	var key string
+	if w.Cache != nil {
+		if h, err := wt.Spec.Hash(); err == nil {
+			key = RepKey(h, run.RepSeed(wt.Spec.BaseSeed(), wt.Rep))
+			if r, ok := w.Cache.Get(key); ok {
+				out.Result = r
+				return out
+			}
+		}
+	}
+	r, err := wt.Spec.RunRep(wt.Rep)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Result = r
+	if w.Cache != nil && key != "" {
+		w.Cache.Put(key, r)
+	}
+	return out
+}
+
+func fetchTask(ctx context.Context, client *http.Client, base string) (wireTask, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/task", nil)
+	if err != nil {
+		return wireTask{}, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return wireTask{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return wireTask{}, resp.StatusCode, nil
+	}
+	var wt wireTask
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBody)).Decode(&wt); err != nil {
+		return wireTask{}, resp.StatusCode, fmt.Errorf("grid: bad task payload: %w", err)
+	}
+	return wt, resp.StatusCode, nil
+}
+
+// postResult delivers one result, retrying transient failures a few times
+// so a momentary coordinator hiccup doesn't strand a finished simulation.
+func postResult(ctx context.Context, client *http.Client, base string, res wireResult) error {
+	body, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("grid: encode result: %w", err)
+	}
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, time.Duration(attempt)*250*time.Millisecond); err != nil {
+				return err
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/result", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			last = err
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusNoContent:
+			return nil
+		case http.StatusConflict:
+			// The coordinator moved on to another session; drop quietly.
+			return nil
+		default:
+			last = fmt.Errorf("grid: coordinator answered %d to /result", resp.StatusCode)
+		}
+	}
+	return last
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -378,7 +378,11 @@ func Run(p Params) (Result, error) {
 
 // PlanJob adapts a deployment into a run.Job, so multicell sweep points
 // can join the same replication plans (and worker pool) as single-cell
-// scenarios. The job's mac.Result is the deployment-wide aggregate with
+// scenarios. The closure makes the job process-local; for anything that
+// crosses a serialization boundary — the sweep grid's cache, remote
+// workers — use grid.MulticellSpec, which carries the same Params as data
+// and applies the identical normalization. The job's mac.Result is the
+// deployment-wide aggregate with
 // Frames normalized to per-cell-frame equivalents (a deployment sums
 // frames across cells; the plan currency counts the measurement window
 // once), so the generic replication fold recomputes DataThroughputPerFrame

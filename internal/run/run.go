@@ -108,10 +108,16 @@ type Runner struct {
 	Workers int
 }
 
+// errNotRun marks tasks the worker pool never reached (cancellation).
+var errNotRun = errors.New("run: task not executed")
+
 // Run executes every replication of every job concurrently and returns
 // one aggregated mac.Result per job, in job order. All jobs run even when
 // some fail; the returned error joins every per-task failure (and the
-// context's error, if it was cancelled), in which case results are nil.
+// context's error, if it was cancelled). Results are returned even then:
+// each job aggregates its successful replications, so a single failed
+// replication costs one sample, not the whole sweep. A job with no
+// successful replication reports a zero Result.
 func (r Runner) Run(ctx context.Context, p Plan) ([]mac.Result, error) {
 	type task struct{ job, rep int }
 	tasks := make([]task, 0, p.Tasks())
@@ -121,7 +127,16 @@ func (r Runner) Run(ctx context.Context, p Plan) ([]mac.Result, error) {
 		}
 	}
 
-	flat, err := Map(ctx, r.Workers, len(tasks), func(k int) (mac.Result, error) {
+	// taskErrs distinguishes, per task, success (nil) from failure and
+	// from never-ran, so the per-job fold can skip exactly the replications
+	// that produced no result. Writes happen before Map's pool drains and
+	// reads after it returns, so no further synchronization is needed.
+	taskErrs := make([]error, len(tasks))
+	for k := range taskErrs {
+		taskErrs[k] = errNotRun
+	}
+	flat, err := Map(ctx, r.Workers, len(tasks), func(k int) (res mac.Result, err error) {
+		defer func() { taskErrs[k] = err }()
 		t := tasks[k]
 		if j := p.Jobs[t.job]; j.Custom != nil {
 			res, err := j.Custom(RepSeed(j.CustomSeed, t.rep))
@@ -132,24 +147,31 @@ func (r Runner) Run(ctx context.Context, p Plan) ([]mac.Result, error) {
 		}
 		sc := p.Jobs[t.job].Scenario
 		sc.Seed = RepSeed(sc.Seed, t.rep)
-		res, err := sc.Run()
+		res, err = sc.Run()
 		if err != nil {
 			return mac.Result{}, fmt.Errorf("run: job %d (%s) rep %d: %w", t.job, sc.Protocol, t.rep, err)
 		}
 		return res, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 
 	out := make([]mac.Result, len(p.Jobs))
 	k := 0
 	for j, job := range p.Jobs {
 		n := job.reps()
-		out[j] = mac.AggregateReplications(flat[k : k+n])
+		if err == nil {
+			out[j] = mac.AggregateReplications(flat[k : k+n])
+		} else {
+			good := make([]mac.Result, 0, n)
+			for i := 0; i < n; i++ {
+				if taskErrs[k+i] == nil {
+					good = append(good, flat[k+i])
+				}
+			}
+			out[j] = mac.AggregateReplications(good)
+		}
 		k += n
 	}
-	return out, nil
+	return out, err
 }
 
 // Scenarios executes each scenario once (no replication) on the default

@@ -202,3 +202,57 @@ func TestMapOrderAndErrors(t *testing.T) {
 		t.Fatalf("empty map errored: %v", err)
 	}
 }
+
+// TestRunPartialResultsOnFailure: a failed replication costs one sample,
+// not the sweep — the runner returns per-job aggregates over the
+// successful replications alongside the joined error.
+func TestRunPartialResultsOnFailure(t *testing.T) {
+	fail := errors.New("rep exploded")
+	plan := Plan{Jobs: []Job{
+		{Scenario: shortScenario(core.ProtoCharisma, 5, 0), Replications: 2},
+		{
+			// Replication 1 of this custom job fails; replication 0 succeeds.
+			Custom: func(seed int64) (mac.Result, error) {
+				if seed != RepSeed(9, 0) {
+					return mac.Result{}, fail
+				}
+				return mac.Result{Protocol: "custom", Frames: 10, DataDelivered: 5}, nil
+			},
+			CustomSeed:   9,
+			Replications: 2,
+		},
+	}}
+	rs, err := Runner{}.Run(context.Background(), plan)
+	if err == nil || !strings.Contains(err.Error(), "rep exploded") {
+		t.Fatalf("error %v does not surface the failure", err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("partial results missing: %v", rs)
+	}
+	if rs[0].Frames == 0 || rs[0].Reps.Replications != 2 {
+		t.Fatalf("healthy job lost its aggregate: %+v", rs[0])
+	}
+	if rs[1].Reps.Replications != 1 || rs[1].DataDelivered != 5 {
+		t.Fatalf("failed job should aggregate its one good rep: %+v", rs[1])
+	}
+}
+
+// TestRunPartialResultsAllFailed: a job whose every replication failed
+// reports a zero Result, not garbage.
+func TestRunPartialResultsAllFailed(t *testing.T) {
+	bad := shortScenario(core.ProtoCharisma, 5, 0)
+	bad.Protocol = "bogus"
+	rs, err := Runner{}.Run(context.Background(), NewPlan([]core.Scenario{bad, shortScenario(core.ProtoRAMA, 5, 0)}, 2))
+	if err == nil {
+		t.Fatal("bogus protocol not reported")
+	}
+	if len(rs) != 2 {
+		t.Fatalf("partial results missing: %v", rs)
+	}
+	if rs[0] != (mac.Result{}) {
+		t.Fatalf("all-failed job not zero: %+v", rs[0])
+	}
+	if rs[1].Frames == 0 {
+		t.Fatalf("healthy job lost: %+v", rs[1])
+	}
+}

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The wire codec fuzz discipline: decoding arbitrary bytes never panics,
+// and any packet a decoder accepts re-encodes to bytes the decoder maps
+// back to the same value (decode ∘ encode ∘ decode = decode). Seeds cover
+// every packet type's canonical encoding.
+
+func FuzzDecodeRequest(f *testing.F) {
+	if b, err := EncodeRequest(Request{DeviceID: 513, Service: ServiceData, DeadlineFrames: 7, NumPackets: 40, Pilot: true}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRequest(data)
+		if err != nil {
+			return
+		}
+		b, err := EncodeRequest(r)
+		if err != nil {
+			t.Fatalf("accepted request %+v fails to encode: %v", r, err)
+		}
+		again, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatalf("re-encoded request rejected: %v", err)
+		}
+		if again != r {
+			t.Fatalf("request not idempotent: %+v vs %+v", r, again)
+		}
+	})
+}
+
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint16(0), uint8(0), uint8(0), uint16(0), false)
+	f.Add(uint16(1023), uint8(1), uint8(31), uint16(1023), true)
+	f.Fuzz(func(t *testing.T, id uint16, svc, deadline uint8, pkts uint16, pilot bool) {
+		r := Request{DeviceID: id, Service: ServiceType(svc & 1), DeadlineFrames: deadline, NumPackets: pkts, Pilot: pilot}
+		b, err := EncodeRequest(r)
+		if id > MaxDeviceID {
+			if err == nil {
+				t.Fatal("oversized device ID encoded")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeRequest(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deadline and packet count saturate on encode.
+		want := r
+		if want.DeadlineFrames > MaxDeadlineFrames {
+			want.DeadlineFrames = MaxDeadlineFrames
+		}
+		if want.NumPackets > MaxRequestPackets {
+			want.NumPackets = MaxRequestPackets
+		}
+		if got != want {
+			t.Fatalf("round trip %+v -> %+v", want, got)
+		}
+	})
+}
+
+func FuzzDecodeAck(f *testing.F) {
+	if b, err := EncodeAck(Ack{DeviceID: 7}); err == nil {
+		f.Add(b)
+	}
+	if b, err := EncodeAck(Ack{Collision: true}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAck(data)
+		if err != nil {
+			return
+		}
+		b, err := EncodeAck(a)
+		if err != nil {
+			t.Fatalf("accepted ack %+v fails to encode: %v", a, err)
+		}
+		again, err := DecodeAck(b)
+		if err != nil || again != a {
+			t.Fatalf("ack not idempotent: %+v vs %+v (%v)", a, again, err)
+		}
+	})
+}
+
+func FuzzDecodeAnnouncement(f *testing.F) {
+	if b, err := EncodeAnnouncement(Announcement{
+		FrameIndex: 9,
+		Grants: []Grant{
+			{DeviceID: 3, StartSymbol: 100, NumPackets: 2, Mode: 5},
+			{DeviceID: 900, StartSymbol: 1023, NumPackets: 1023, Mode: 7},
+		},
+	}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0, 0, 2, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeAnnouncement(data)
+		if err != nil {
+			return
+		}
+		b, err := EncodeAnnouncement(a)
+		if err != nil {
+			t.Fatalf("accepted announcement %+v fails to encode: %v", a, err)
+		}
+		again, err := DecodeAnnouncement(b)
+		if err != nil {
+			t.Fatalf("re-encoded announcement rejected: %v", err)
+		}
+		if !reflect.DeepEqual(a, again) {
+			t.Fatalf("announcement not idempotent:\n%+v\n%+v", a, again)
+		}
+	})
+}
+
+func FuzzDecodeCSIPoll(f *testing.F) {
+	if b, err := EncodeCSIPoll(CSIPoll{FrameIndex: 4, DeviceIDs: []uint16{1, 2, 1000}}); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeCSIPoll(data)
+		if err != nil {
+			return
+		}
+		b, err := EncodeCSIPoll(p)
+		if err != nil {
+			t.Fatalf("accepted poll %+v fails to encode: %v", p, err)
+		}
+		again, err := DecodeCSIPoll(b)
+		if err != nil {
+			t.Fatalf("re-encoded poll rejected: %v", err)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatalf("poll not idempotent:\n%+v\n%+v", p, again)
+		}
+	})
+}

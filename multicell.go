@@ -61,6 +61,12 @@ type MultiCellResult struct {
 // to which new base station should the user attach, from a channel quality
 // point of view?").
 func RunMultiCell(o MultiCellOptions) (MultiCellResult, error) {
+	return RunMultiCellContext(context.Background(), o)
+}
+
+// RunMultiCellContext is RunMultiCell with cancellation: a cancelled
+// context stops pending replications and returns the context's error.
+func RunMultiCellContext(ctx context.Context, o MultiCellOptions) (MultiCellResult, error) {
 	p := multicell.DefaultParams()
 	if o.Cells > 0 {
 		p.Cells = o.Cells
@@ -101,7 +107,7 @@ func RunMultiCell(o MultiCellOptions) (MultiCellResult, error) {
 	if o.Duration > 0 {
 		p.DurationSec = o.Duration.Seconds()
 	}
-	r, err := multicell.RunReplicated(context.Background(), p, o.Replications)
+	r, err := multicell.RunReplicated(ctx, p, o.Replications)
 	if err != nil {
 		return MultiCellResult{}, err
 	}
