@@ -1,0 +1,217 @@
+// Command benchsnap converts `go test -bench` output into a committed
+// perf-trajectory snapshot (BENCH_<pr>.json) and enforces allocation
+// budgets in CI.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem | benchsnap -pr 4 -out BENCH_4.json
+//	benchsnap -in raw.txt -out /dev/null -assert-zero-allocs 'ChannelBank|Engine'
+//
+// Multiple -count samples of one benchmark are pooled: the snapshot keeps
+// the minimum and median ns/op (minimum approximates the noise floor,
+// median the typical run), the maximum allocs/op (the conservative value
+// the allocation guard checks), and the last value of every custom
+// b.ReportMetric column.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type sample struct {
+	nsPerOp     float64
+	bytesPerOp  int64
+	allocsPerOp int64
+	hasAllocs   bool
+	metrics     map[string]float64
+}
+
+// Snapshot is the schema of a BENCH_<pr>.json trajectory point.
+type Snapshot struct {
+	PR         int                  `json:"pr"`
+	Go         string               `json:"go"`
+	GOOS       string               `json:"goos,omitempty"`
+	GOARCH     string               `json:"goarch,omitempty"`
+	CPU        string               `json:"cpu,omitempty"`
+	Benchmarks map[string]BenchStat `json:"benchmarks"`
+}
+
+// BenchStat pools the samples of one benchmark.
+type BenchStat struct {
+	Samples     int                `json:"samples"`
+	NsPerOpMin  float64            `json:"ns_per_op_min"`
+	NsPerOpMed  float64            `json:"ns_per_op_median"`
+	BytesPerOp  int64              `json:"b_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseLine(line string) (name string, s sample, ok bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return "", sample{}, false
+	}
+	name = strings.TrimPrefix(m[1], "Benchmark")
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 {
+		return "", sample{}, false
+	}
+	s.metrics = map[string]float64{}
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			s.nsPerOp = v
+		case "B/op":
+			s.bytesPerOp = int64(v)
+		case "allocs/op":
+			s.allocsPerOp = int64(v)
+			s.hasAllocs = true
+		default:
+			s.metrics[unit] = v
+		}
+	}
+	return name, s, true
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "raw `go test -bench` output (default stdin)")
+		out      = flag.String("out", "", "snapshot JSON path (empty or /dev/null = don't write)")
+		pr       = flag.Int("pr", 0, "PR number stamped into the snapshot")
+		assertRe = flag.String("assert-zero-allocs", "",
+			"regex of benchmark names (without the Benchmark prefix) that must report 0 allocs/op; violations exit 1")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	snap := Snapshot{PR: *pr, Go: runtime.Version(), Benchmarks: map[string]BenchStat{}}
+	samples := map[string][]sample{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if name, s, ok := parseLine(line); ok {
+				if _, seen := samples[name]; !seen {
+					order = append(order, name)
+				}
+				samples[name] = append(samples[name], s)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines found in input")
+		os.Exit(1)
+	}
+
+	for _, name := range order {
+		ss := samples[name]
+		ns := make([]float64, len(ss))
+		st := BenchStat{Samples: len(ss), Metrics: map[string]float64{}}
+		for i, s := range ss {
+			ns[i] = s.nsPerOp
+			if s.bytesPerOp > st.BytesPerOp {
+				st.BytesPerOp = s.bytesPerOp
+			}
+			if s.allocsPerOp > st.AllocsPerOp {
+				st.AllocsPerOp = s.allocsPerOp
+			}
+			for k, v := range s.metrics {
+				st.Metrics[k] = v
+			}
+		}
+		sort.Float64s(ns)
+		st.NsPerOpMin = ns[0]
+		st.NsPerOpMed = ns[len(ns)/2]
+		if len(st.Metrics) == 0 {
+			st.Metrics = nil
+		}
+		snap.Benchmarks[name] = st
+	}
+
+	if *assertRe != "" {
+		re, err := regexp.Compile(*assertRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		matched, failed := 0, 0
+		for _, name := range order {
+			if !re.MatchString(name) {
+				continue
+			}
+			matched++
+			for _, s := range samples[name] {
+				if !s.hasAllocs {
+					fmt.Fprintf(os.Stderr, "benchsnap: %s has no allocs/op column (run with -benchmem)\n", name)
+					failed++
+					break
+				}
+				if s.allocsPerOp != 0 {
+					fmt.Fprintf(os.Stderr, "benchsnap: alloc regression: %s reports %d allocs/op, want 0\n",
+						name, s.allocsPerOp)
+					failed++
+					break
+				}
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: -assert-zero-allocs %q matched no benchmarks\n", *assertRe)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmarks allocation-free\n", matched)
+	}
+
+	if *out != "" && *out != "/dev/null" {
+		blob, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+}

@@ -40,6 +40,7 @@ import (
 
 	"charisma/internal/experiments"
 	"charisma/internal/grid"
+	"charisma/internal/prof"
 )
 
 func main() {
@@ -55,8 +56,16 @@ func main() {
 		maxReps    = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
 		listen     = flag.String("listen", "", "serve grid tasks to remote charisma-worker processes on this address")
 		remoteOnly = flag.Bool("remote-only", false, "no local simulation: all work done by remote workers (requires -listen)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charisma-experiments:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,6 +93,7 @@ func main() {
 
 	if *remoteOnly && *listen == "" {
 		fmt.Fprintln(os.Stderr, "charisma-experiments: -remote-only requires -listen")
+		stopProf()
 		os.Exit(1)
 	}
 	if *listen != "" {
@@ -98,7 +108,7 @@ func main() {
 		}()
 	}
 
-	err := run(ctx, strings.ToLower(*exp), rc)
+	err = run(ctx, strings.ToLower(*exp), rc)
 	if rc.Server != nil {
 		// Answer 410 for a moment so polling workers drain and exit
 		// instead of waiting out their -max-idle against a vanished
@@ -109,6 +119,7 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, rc.Stats.String())
+	stopProf()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charisma-experiments:", err)
 		os.Exit(1)

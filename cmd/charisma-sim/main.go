@@ -23,7 +23,18 @@ import (
 	"time"
 
 	"charisma"
+	"charisma/internal/prof"
 )
+
+// stopProf ends any active profiling; fatal paths call it explicitly
+// because os.Exit skips defers.
+var stopProf = func() {}
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, args...)
+	stopProf()
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -43,8 +54,17 @@ func main() {
 		cacheDir = flag.String("cache-dir", "", "content-addressed replication cache directory (single-cell runs)")
 		prec     = flag.Float64("precision", 0, "adaptive replication: target relative CI95 half-width (0 = fixed -reps)")
 		maxReps  = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	var err error
+	if stopProf, err = prof.Start(*cpuProf, *memProf); err != nil {
+		fmt.Fprintln(os.Stderr, "charisma-sim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	// Long runs die cleanly on ^C / SIGTERM instead of mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -52,8 +72,7 @@ func main() {
 
 	if *cells >= 2 {
 		if *all {
-			fmt.Fprintln(os.Stderr, "charisma-sim: -all is not supported with -cells; pick one -protocol per deployment")
-			os.Exit(1)
+			fatal("charisma-sim: -all is not supported with -cells; pick one -protocol per deployment")
 		}
 		if *cacheDir != "" || *prec > 0 {
 			fmt.Fprintln(os.Stderr, "charisma-sim: note: -cache-dir/-precision apply to single-cell runs only")
@@ -80,7 +99,6 @@ func main() {
 	}
 
 	var results []charisma.Result
-	var err error
 	if *all {
 		results, err = charisma.CompareContext(ctx, opts)
 	} else {
@@ -89,8 +107,7 @@ func main() {
 		results = []charisma.Result{r}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "charisma-sim:", err)
-		os.Exit(1)
+		fatal("charisma-sim:", err)
 	}
 
 	fmt.Printf("cell: Nv=%d Nd=%d queue=%v seed=%d reps=%d %gs measured (speed %g km/h, SNR %g dB)\n\n",
@@ -132,8 +149,7 @@ func runMultiCell(ctx context.Context, cells, workers int, protocol string, voic
 		MeanSNRdB:        snr,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "charisma-sim:", err)
-		os.Exit(1)
+		fatal("charisma-sim:", err)
 	}
 	fmt.Printf("deployment: cells=%d Nv=%d Nd=%d queue=%v seed=%d reps=%d workers=%d %gs measured\n\n",
 		cells, voice, data, queue, seed, reps, workers, duration)

@@ -14,6 +14,13 @@
 // (paper: "the channel fading experienced by each mobile device is
 // independent of each other"), which is precisely the spatial diversity
 // CHARISMA's scheduler exploits.
+//
+// The state of every process lives in a structure-of-arrays fading plane
+// (see plane.go): a Fading value is a thin per-user view over the plane, so
+// the public API — and, critically, each user's private draw order, hence
+// every result byte — is unchanged from the original scalar implementation
+// while advancement is one batch loop and amplitude conversions are
+// memoized per step.
 package channel
 
 import (
@@ -105,79 +112,54 @@ func (p Params) Validate() error {
 	return nil
 }
 
-// Fading is one user's combined fading process. It consumes randomness only
-// from its own stream and only inside Advance, so the sample path for a
-// given seed is identical regardless of which MAC protocol observes it
-// (common-random-numbers across the six protocols).
+// Fading is one user's combined fading process: a view into a
+// structure-of-arrays plane holding the actual state. It consumes
+// randomness only from its own stream and only inside Advance, so the
+// sample path for a given seed is identical regardless of which MAC
+// protocol observes it (common-random-numbers across the six protocols).
 type Fading struct {
-	p   Params
-	rnd *rng.Stream
-
-	gRe, gIm float64 // complex short-term envelope, E[|g|²]=1
-	shadowDB float64 // long-term local mean in amplitude dB
-	prevAmp  float64 // combined amplitude before the last Advance
-
-	// memoized AR(1) coefficients for the most recent step size
-	memoDt   sim.Time
-	memoRhoS float64
-	memoRhoL float64
+	plane *plane
+	idx   int32
 }
 
-// NewFading creates a fading process initialized at its stationary
-// distribution.
+// NewFading creates a standalone fading process (a single-user plane)
+// initialized at its stationary distribution.
 func NewFading(p Params, stream *rng.Stream) *Fading {
-	f := &Fading{p: p, rnd: stream, memoDt: -1}
-	f.gRe, f.gIm = stream.ComplexGaussian()
-	f.shadowDB = stream.Normal(p.ShadowMeanDB, p.ShadowSigmaDB)
-	f.prevAmp = f.Amplitude()
-	return f
+	pl := newPlane(1)
+	pl.initUser(0, p, stream)
+	return &pl.views[0]
 }
 
 // Params returns the configured statistics.
-func (f *Fading) Params() Params { return f.p }
-
-func (f *Fading) coeffs(dt sim.Time) (rhoS, rhoL float64) {
-	if dt == f.memoDt {
-		return f.memoRhoS, f.memoRhoL
-	}
-	sec := dt.Seconds()
-	rhoS = mathx.ExpCorrelation(f.p.CoherenceTime(), sec)
-	rhoL = mathx.ExpCorrelation(f.p.ShadowCoherenceSec, sec)
-	f.memoDt, f.memoRhoS, f.memoRhoL = dt, rhoS, rhoL
-	return rhoS, rhoL
-}
+func (f *Fading) Params() Params { return f.plane.classes[f.plane.classOf[f.idx]].p }
 
 // Advance evolves the channel by dt ticks. It always consumes exactly three
 // Gaussian draws so sample paths stay aligned across scenarios with the
 // same per-user stream.
-func (f *Fading) Advance(dt sim.Time) {
-	if dt < 0 {
-		panic("channel: negative time step")
-	}
-	f.prevAmp = f.Amplitude()
-	rhoS, rhoL := f.coeffs(dt)
-	wRe, wIm := f.rnd.ComplexGaussian()
-	innov := math.Sqrt(1 - rhoS*rhoS)
-	f.gRe = rhoS*f.gRe + innov*wRe
-	f.gIm = rhoS*f.gIm + innov*wIm
+func (f *Fading) Advance(dt sim.Time) { f.plane.advanceUser(int(f.idx), dt) }
 
-	w := f.rnd.Normal(0, 1)
-	f.shadowDB = f.p.ShadowMeanDB +
-		rhoL*(f.shadowDB-f.p.ShadowMeanDB) +
-		math.Sqrt(1-rhoL*rhoL)*f.p.ShadowSigmaDB*w
-}
+// AdvanceSteps evolves the channel by n consecutive steps of dt ticks each
+// — byte-identical to calling Advance(dt) n times, but with the step
+// coefficients resolved once and no amplitude conversions paid for the
+// intermediate states. The MAC's lazy fading replay uses it to settle a
+// station's deferred frames in one batch.
+func (f *Fading) AdvanceSteps(dt sim.Time, n int) { f.plane.advanceUserSteps(int(f.idx), dt, n) }
 
 // ShortTerm returns the instantaneous Rayleigh envelope c_s.
-func (f *Fading) ShortTerm() float64 { return math.Hypot(f.gRe, f.gIm) }
+func (f *Fading) ShortTerm() float64 {
+	return math.Hypot(f.plane.gRe[f.idx], f.plane.gIm[f.idx])
+}
 
 // LongTerm returns the instantaneous log-normal local mean amplitude c_l.
-func (f *Fading) LongTerm() float64 { return mathx.AmpDBToLinear(f.shadowDB) }
+func (f *Fading) LongTerm() float64 { return f.plane.longTermAt(f.idx) }
 
 // LongTermDB returns the local mean in amplitude dB.
-func (f *Fading) LongTermDB() float64 { return f.shadowDB }
+func (f *Fading) LongTermDB() float64 { return f.plane.shadowDB[f.idx] }
 
-// Amplitude returns the combined fading amplitude c = c_l·c_s.
-func (f *Fading) Amplitude() float64 { return f.LongTerm() * f.ShortTerm() }
+// Amplitude returns the combined fading amplitude c = c_l·c_s. The value is
+// memoized per step: it can only change on Advance, and the MAC queries it
+// several times per frame.
+func (f *Fading) Amplitude() float64 { return f.plane.amplitudeAt(f.idx) }
 
 // Gain returns the combined power gain c².
 func (f *Fading) Gain() float64 {
@@ -212,7 +194,7 @@ func (f *Fading) MeasureEstimate(noiseStd float64, observer *rng.Stream, now sim
 // (CHARISMA's request and polling pilots) do not pay this lag — the core of
 // the MAC/PHY synergy the paper argues for.
 func (f *Fading) MeasureEstimateDelayed(noiseStd float64, observer *rng.Stream, now sim.Time) Estimate {
-	return noisy(f.prevAmp, noiseStd, observer, now)
+	return noisy(f.plane.prevAmplitudeAt(f.idx), noiseStd, observer, now)
 }
 
 func noisy(amp, noiseStd float64, observer *rng.Stream, now sim.Time) Estimate {
@@ -226,9 +208,9 @@ func noisy(amp, noiseStd float64, observer *rng.Stream, now sim.Time) Estimate {
 }
 
 // Bank is the collection of independent per-user fading processes for a
-// cell.
+// cell, backed by one shared fading plane.
 type Bank struct {
-	users []*Fading
+	pl *plane
 }
 
 // NewBank creates n independent fading processes. Each user's stream is
@@ -236,38 +218,49 @@ type Bank struct {
 // depend on how many other users exist or which protocol runs — the exact
 // common-platform property the paper's comparison relies on.
 func NewBank(n int, p Params, seed int64) *Bank {
-	b := &Bank{users: make([]*Fading, n)}
-	for i := range b.users {
-		b.users[i] = NewFading(p, rng.Derive(seed, "chan", fmt.Sprint(i)))
-	}
-	return b
+	return NewBankFunc(n, func(i int) (Params, *rng.Stream) {
+		return p, rng.DeriveIndexed(seed, "chan", i)
+	})
 }
 
 // NewBankWithSpeeds creates a bank whose users have individual speeds (used
-// by the §5.3.3 mobility-sensitivity experiment).
+// by the §5.3.3 mobility-sensitivity experiment). Users sharing a speed
+// share one coefficient class on the plane.
 func NewBankWithSpeeds(speedsKmh []float64, base Params, seed int64) *Bank {
-	b := &Bank{users: make([]*Fading, len(speedsKmh))}
-	for i, v := range speedsKmh {
+	return NewBankFunc(len(speedsKmh), func(i int) (Params, *rng.Stream) {
 		p := base
-		p.SpeedKmh = v
+		p.SpeedKmh = speedsKmh[i]
 		p.DopplerHz = 0
-		b.users[i] = NewFading(p, rng.Derive(seed, "chan", fmt.Sprint(i)))
+		return p, rng.DeriveIndexed(seed, "chan", i)
+	})
+}
+
+// NewBankFunc creates a bank whose user i takes its parameters and private
+// stream from fn — the generic constructor behind NewBank and the
+// multicell per-cell clone banks, which need per-(cell,user) stream
+// derivations while still sharing one backing plane per cell.
+func NewBankFunc(n int, fn func(i int) (Params, *rng.Stream)) *Bank {
+	pl := newPlane(n)
+	for i := 0; i < n; i++ {
+		p, stream := fn(i)
+		pl.initUser(i, p, stream)
 	}
-	return b
+	return &Bank{pl: pl}
 }
 
 // Size returns the number of users.
-func (b *Bank) Size() int { return len(b.users) }
+func (b *Bank) Size() int { return len(b.pl.views) }
 
-// User returns user i's fading process.
-func (b *Bank) User(i int) *Fading { return b.users[i] }
+// Classes returns the number of distinct coefficient classes the bank's
+// users fall into (1 unless per-user parameters differ).
+func (b *Bank) Classes() int { return len(b.pl.classes) }
 
-// Advance steps every user's channel by dt.
-func (b *Bank) Advance(dt sim.Time) {
-	for _, u := range b.users {
-		u.Advance(dt)
-	}
-}
+// User returns user i's fading process view. The returned pointer is
+// stable for the life of the bank.
+func (b *Bank) User(i int) *Fading { return &b.pl.views[i] }
+
+// Advance steps every user's channel by dt in one batch over the plane.
+func (b *Bank) Advance(dt sim.Time) { b.pl.advanceAll(dt) }
 
 // TracePoint is one sample of a recorded fading trace (Fig. 5 style).
 type TracePoint struct {

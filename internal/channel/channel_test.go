@@ -127,7 +127,7 @@ func TestShortTermCorrelationDecay(t *testing.T) {
 	re := make([]float64, n)
 	for i := 0; i < n; i++ {
 		f.Advance(frameDur)
-		re[i] = f.gRe
+		re[i] = f.plane.gRe[f.idx]
 	}
 	corr := func(lag int) float64 {
 		sum := 0.0

@@ -1,0 +1,222 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"charisma/internal/mathx"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+)
+
+// scalarRef is an independent re-implementation of the original
+// one-object-per-user fading process, kept as the executable specification
+// the SoA plane must match bit-for-bit: same draws, same order, same
+// arithmetic expressions.
+type scalarRef struct {
+	p        Params
+	rnd      *rng.Stream
+	gRe, gIm float64
+	shadowDB float64
+	prevAmp  float64
+}
+
+func newScalarRef(p Params, stream *rng.Stream) *scalarRef {
+	f := &scalarRef{p: p, rnd: stream}
+	f.gRe, f.gIm = stream.ComplexGaussian()
+	f.shadowDB = stream.Normal(p.ShadowMeanDB, p.ShadowSigmaDB)
+	f.prevAmp = f.amplitude()
+	return f
+}
+
+func (f *scalarRef) amplitude() float64 {
+	return mathx.AmpDBToLinear(f.shadowDB) * math.Hypot(f.gRe, f.gIm)
+}
+
+func (f *scalarRef) advance(dt sim.Time) {
+	f.prevAmp = f.amplitude()
+	sec := dt.Seconds()
+	rhoS := mathx.ExpCorrelation(f.p.CoherenceTime(), sec)
+	rhoL := mathx.ExpCorrelation(f.p.ShadowCoherenceSec, sec)
+	wRe, wIm := f.rnd.ComplexGaussian()
+	innov := math.Sqrt(1 - rhoS*rhoS)
+	f.gRe = rhoS*f.gRe + innov*wRe
+	f.gIm = rhoS*f.gIm + innov*wIm
+	w := f.rnd.Normal(0, 1)
+	f.shadowDB = f.p.ShadowMeanDB +
+		rhoL*(f.shadowDB-f.p.ShadowMeanDB) +
+		math.Sqrt(1-rhoL*rhoL)*f.p.ShadowSigmaDB*w
+}
+
+// TestPlaneMatchesScalarReference drives a plane-backed Fading and the
+// scalar specification through a mixed schedule of step sizes (standard
+// frames interleaved with RMAV-style variable frames) and demands bitwise
+// equality of every observable at every step.
+func TestPlaneMatchesScalarReference(t *testing.T) {
+	for _, speed := range []float64{10, 50, 120} {
+		p := DefaultParams()
+		p.SpeedKmh = speed
+		f := NewFading(p, rng.Derive(11, "ref"))
+		r := newScalarRef(p, rng.Derive(11, "ref"))
+		dts := []sim.Time{800, 800, 1040, 800, 640, 800, 800, 800, 1040, 800}
+		for i := 0; i < 500; i++ {
+			dt := dts[i%len(dts)]
+			f.Advance(dt)
+			r.advance(dt)
+			if f.Amplitude() != r.amplitude() {
+				t.Fatalf("speed %v step %d: amplitude %x != scalar %x",
+					speed, i, math.Float64bits(f.Amplitude()), math.Float64bits(r.amplitude()))
+			}
+			if f.LongTermDB() != r.shadowDB {
+				t.Fatalf("speed %v step %d: shadow diverged", speed, i)
+			}
+			if got := f.MeasureEstimateDelayed(0, rng.New(1), 0).Amp; got != r.prevAmp {
+				t.Fatalf("speed %v step %d: prev amplitude %x != scalar %x",
+					speed, i, math.Float64bits(got), math.Float64bits(r.prevAmp))
+			}
+			// Repeated queries of the memoized values must be stable.
+			if f.Amplitude() != f.Amplitude() {
+				t.Fatalf("speed %v step %d: memoized amplitude unstable", speed, i)
+			}
+			if f.LongTerm() != mathx.AmpDBToLinear(r.shadowDB) {
+				t.Fatalf("speed %v step %d: local mean diverged", speed, i)
+			}
+		}
+	}
+}
+
+// TestAdvanceStepsMatchesRepeatedAdvance pins the batched lazy-replay
+// catch-up: n AdvanceSteps of equal dt are byte-identical to n Advances,
+// including the delayed-estimate state.
+func TestAdvanceStepsMatchesRepeatedAdvance(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 400} {
+		a := NewFading(DefaultParams(), rng.Derive(5, "steps"))
+		b := NewFading(DefaultParams(), rng.Derive(5, "steps"))
+		// Desynchronize the memo caches first: query a, not b.
+		a.Advance(frameDur)
+		b.Advance(frameDur)
+		_ = a.Amplitude()
+		a.AdvanceSteps(frameDur, n)
+		for i := 0; i < n; i++ {
+			b.Advance(frameDur)
+		}
+		if a.Amplitude() != b.Amplitude() {
+			t.Fatalf("n=%d: batched catch-up diverged from stepwise", n)
+		}
+		da := a.MeasureEstimateDelayed(0, rng.New(1), 0).Amp
+		db := b.MeasureEstimateDelayed(0, rng.New(1), 0).Amp
+		if da != db {
+			t.Fatalf("n=%d: delayed estimate %v != %v after catch-up", n, da, db)
+		}
+		if a.ShortTerm() != b.ShortTerm() || a.LongTerm() != b.LongTerm() {
+			t.Fatalf("n=%d: components diverged", n)
+		}
+	}
+}
+
+// TestAdvanceStepsZeroAndNegative pins the no-op and panic edges.
+func TestAdvanceStepsZeroAndNegative(t *testing.T) {
+	f := NewFading(DefaultParams(), rng.Derive(6, "steps"))
+	f.Advance(frameDur)
+	before := f.Amplitude()
+	f.AdvanceSteps(frameDur, 0)
+	f.AdvanceSteps(frameDur, -3)
+	if f.Amplitude() != before {
+		t.Fatal("non-positive step counts must not move the channel")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative dt did not panic")
+		}
+	}()
+	f.AdvanceSteps(-1, 2)
+}
+
+// TestBankWithSpeedsDeterminismAndClasses covers the mixed-speed plane:
+// construction is deterministic, users sharing a speed share a coefficient
+// class, and every user's path matches its scalar reference.
+func TestBankWithSpeedsDeterminism(t *testing.T) {
+	speeds := []float64{10, 80, 50, 80, 10, 120, 50}
+	b1 := NewBankWithSpeeds(speeds, DefaultParams(), 3)
+	b2 := NewBankWithSpeeds(speeds, DefaultParams(), 3)
+	if got, want := b1.Classes(), 4; got != want {
+		t.Fatalf("coefficient classes = %d, want %d (distinct speeds)", got, want)
+	}
+	refs := make([]*scalarRef, len(speeds))
+	for u := range speeds {
+		p := DefaultParams()
+		p.SpeedKmh = speeds[u]
+		refs[u] = newScalarRef(p, rng.DeriveIndexed(3, "chan", u))
+	}
+	for i := 0; i < 100; i++ {
+		b1.Advance(frameDur)
+		b2.Advance(frameDur)
+		for u := range speeds {
+			refs[u].advance(frameDur)
+		}
+	}
+	for u := range speeds {
+		if b1.User(u).Amplitude() != b2.User(u).Amplitude() {
+			t.Fatalf("user %d: same-seed banks diverged", u)
+		}
+		if b1.User(u).Amplitude() != refs[u].amplitude() {
+			t.Fatalf("user %d: mixed-speed plane diverged from scalar reference", u)
+		}
+		if b1.User(u).Params().SpeedKmh != speeds[u] {
+			t.Fatalf("user %d: per-user speed not applied", u)
+		}
+	}
+}
+
+// TestBankFuncPerUserParams covers the generic constructor multicell uses.
+func TestBankFuncPerUserParams(t *testing.T) {
+	b := NewBankFunc(3, func(i int) (Params, *rng.Stream) {
+		p := DefaultParams()
+		p.ShadowSigmaDB = float64(2 + i)
+		return p, rng.DeriveIndexed(99, "mc-chan", 1, i)
+	})
+	if b.Size() != 3 || b.Classes() != 3 {
+		t.Fatalf("size=%d classes=%d", b.Size(), b.Classes())
+	}
+	// User i must match a standalone process on the identical stream.
+	for i := 0; i < 3; i++ {
+		p := DefaultParams()
+		p.ShadowSigmaDB = float64(2 + i)
+		ref := NewFading(p, rng.DeriveIndexed(99, "mc-chan", 1, i))
+		b.User(i).Advance(frameDur)
+		ref.Advance(frameDur)
+		if b.User(i).Amplitude() != ref.Amplitude() {
+			t.Fatalf("user %d diverged from standalone process", i)
+		}
+	}
+}
+
+// TestBankFrameHotPathAllocs is the channel-plane analogue of the mac
+// registry's frame-allocs guard: advancing a bank, querying amplitudes,
+// and replaying deferred steps must all be allocation-free. CI runs it as
+// a regression gate.
+func TestBankFrameHotPathAllocs(t *testing.T) {
+	bank := NewBank(256, DefaultParams(), 1)
+	if n := testing.AllocsPerRun(100, func() { bank.Advance(frameDur) }); n != 0 {
+		t.Fatalf("Bank.Advance allocates %v per frame, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for u := 0; u < bank.Size(); u++ {
+			benchSink += bank.User(u).Amplitude()
+		}
+	}); n != 0 {
+		t.Fatalf("amplitude queries allocate %v per sweep, want 0", n)
+	}
+	f := bank.User(0)
+	if n := testing.AllocsPerRun(100, func() { f.AdvanceSteps(frameDur, 16) }); n != 0 {
+		t.Fatalf("AdvanceSteps allocates %v per catch-up, want 0", n)
+	}
+	obs := rng.New(7)
+	if n := testing.AllocsPerRun(100, func() {
+		benchSink += f.MeasureEstimate(0.05, obs, 0).Amp
+	}); n != 0 {
+		t.Fatalf("MeasureEstimate allocates %v per call, want 0", n)
+	}
+}
+
+var benchSink float64

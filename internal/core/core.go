@@ -198,10 +198,10 @@ func (sc Scenario) Build() (*mac.System, mac.Protocol, error) {
 		st := &mac.Station{ID: i, Fading: bank.User(i)}
 		if i < sc.NumVoice {
 			st.Voice = traffic.NewVoice(traffic.DefaultVoiceParams(),
-				rng.Derive(sc.Seed, "voice", fmt.Sprint(i)), 0)
+				rng.DeriveIndexed(sc.Seed, "voice", i), 0)
 		} else {
 			st.Data = traffic.NewData(traffic.DefaultDataParams(),
-				rng.Derive(sc.Seed, "data", fmt.Sprint(i)), 0)
+				rng.DeriveIndexed(sc.Seed, "data", i), 0)
 		}
 		stations[i] = st
 	}

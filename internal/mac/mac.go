@@ -329,16 +329,17 @@ func (s *System) EndFrame(dur sim.Time) {
 // since it was last observed. The replay consumes exactly the draws (same
 // count, same step size, same private stream) the legacy every-frame
 // advance did, so amplitudes at every observation point are byte-identical
-// to the eager schedule regardless of how long the station idled.
+// to the eager schedule regardless of how long the station idled. The
+// catch-up is batched over the fading plane (one AdvanceSteps call resolves
+// the step coefficients once and keeps the recurrence in registers) rather
+// than paying a full Advance per deferred frame.
 func (s *System) syncChannel(st *Station) {
 	if st.owner != s {
 		return
 	}
-	if st.chSynced < s.frameIdx {
-		fd := s.FrameDuration()
-		for ; st.chSynced < s.frameIdx; st.chSynced++ {
-			st.Fading.Advance(fd)
-		}
+	if k := s.frameIdx - st.chSynced; k > 0 {
+		st.Fading.AdvanceSteps(s.FrameDuration(), int(k))
+		st.chSynced = s.frameIdx
 	}
 }
 
@@ -352,9 +353,9 @@ func (s *System) SyncChannel(st *Station) {
 	if st.owner != s {
 		return
 	}
-	fd := s.FrameDuration()
-	for target := s.frameIdx - 1; st.chSynced < target; st.chSynced++ {
-		st.Fading.Advance(fd)
+	if k := s.frameIdx - 1 - st.chSynced; k > 0 {
+		st.Fading.AdvanceSteps(s.FrameDuration(), int(k))
+		st.chSynced = s.frameIdx - 1
 	}
 }
 

@@ -155,20 +155,32 @@ func New(p Params) (*Deployment, error) {
 	d := &Deployment{p: p}
 
 	n := p.NumVoice + p.NumData
+	// One shared fading plane per cell: clone k of cell c is view k of
+	// cell c's bank. Each (cell, user) link keeps its own private stream
+	// derived from (seed, "mc-chan", c, k), so the per-link sample paths
+	// are byte-identical to the former one-object-per-clone layout while
+	// the per-cell frame loop advances one contiguous plane.
+	banks := make([]*channel.Bank, p.Cells)
+	for c := 0; c < p.Cells; c++ {
+		c := c
+		banks[c] = channel.NewBankFunc(n, func(k int) (channel.Params, *rng.Stream) {
+			return p.Channel, rng.DeriveIndexed(p.Seed, "mc-chan", c, k)
+		})
+	}
 	// Build clones: cell-local station lists with dense local IDs.
 	cellStations := make([][]*mac.Station, p.Cells)
 	for k := 0; k < n; k++ {
 		u := &user{clones: make([]*mac.Station, p.Cells)}
 		if k < p.NumVoice {
 			u.voice = traffic.NewVoice(traffic.DefaultVoiceParams(),
-				rng.Derive(p.Seed, "mc-voice", fmt.Sprint(k)), 0)
+				rng.DeriveIndexed(p.Seed, "mc-voice", k), 0)
 		} else {
 			u.data = traffic.NewData(traffic.DefaultDataParams(),
-				rng.Derive(p.Seed, "mc-data", fmt.Sprint(k)), 0)
+				rng.DeriveIndexed(p.Seed, "mc-data", k), 0)
 		}
 		bestCell, bestDB := 0, -1e18
 		for c := 0; c < p.Cells; c++ {
-			fad := channel.NewFading(p.Channel, rng.Derive(p.Seed, "mc-chan", fmt.Sprint(c), fmt.Sprint(k)))
+			fad := banks[c].User(k)
 			st := &mac.Station{ID: k, Fading: fad}
 			u.clones[c] = st
 			cellStations[c] = append(cellStations[c], st)

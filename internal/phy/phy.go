@@ -193,11 +193,41 @@ func packetErrorProb(m Mode, actualAmp, meanSNR float64) float64 {
 	return 1 - math.Pow(1-ber, PacketBits)
 }
 
+// ampCutoff returns the smallest float64 amplitude at which pred holds,
+// given that pred is monotone non-decreasing in the amplitude. It seeds the
+// search with the algebraic solution and then walks ulp-by-ulp to the exact
+// boundary, so a lookup against the returned cutoff reproduces the original
+// compare-in-SNR-space predicate for every representable amplitude — the
+// property that keeps the precomputed-threshold mode lookup byte-identical
+// to the scan it replaces.
+func ampCutoff(seed float64, pred func(amp float64) bool) float64 {
+	a := seed
+	if pred(a) {
+		for {
+			b := math.Nextafter(a, 0)
+			if !pred(b) {
+				return a
+			}
+			a = b
+		}
+	}
+	for !pred(a) {
+		a = math.Nextafter(a, math.Inf(1))
+	}
+	return a
+}
+
 // Adaptive is the variable-throughput channel-adaptive ABICM modem.
 type Adaptive struct {
 	p       Params
 	modes   []Mode
 	meanSNR float64
+	// ampCuts[q] is the exact minimum (margin-discounted, hence raw)
+	// amplitude at which mode q's SNR threshold is met: the per-query
+	// margin multiply, squaring and mean-SNR scaling of the former scan
+	// are folded into construction, and ModeForAmplitude reduces to a
+	// sorted lookup against precomputed linear-amplitude thresholds.
+	ampCuts []float64
 }
 
 // NewAdaptive builds the ABICM modem from params; it panics on invalid
@@ -209,6 +239,15 @@ func NewAdaptive(p Params) *Adaptive {
 	a := &Adaptive{p: p, meanSNR: mathx.DBToLinear(p.MeanSNRdB)}
 	for i, eta := range p.Etas {
 		a.modes = append(a.modes, buildMode(i, eta, p.ThresholdsDB[i], p.TargetBER))
+	}
+	for _, m := range a.modes {
+		th := m.SNRThreshold
+		a.ampCuts = append(a.ampCuts, ampCutoff(
+			math.Sqrt(th/a.meanSNR)/p.CSIMargin,
+			func(amp float64) bool {
+				eff := amp * p.CSIMargin
+				return eff*eff*a.meanSNR >= th
+			}))
 	}
 	return a
 }
@@ -243,18 +282,27 @@ func (a *Adaptive) ModeForSNR(snr float64) (Mode, bool) {
 	return a.modes[best], false
 }
 
-// ModeForAmplitude implements PHY.
+// ModeForAmplitude implements PHY: a counting pass over the precomputed
+// sorted amplitude cutoffs (no per-call margin multiply, squaring or SNR
+// scaling; the fixed-trip compare-and-count loop lowers to conditional
+// moves rather than a data-dependent branch per mode). Byte-identical to
+// the former compare-in-SNR-space scan by ampCutoff construction.
 func (a *Adaptive) ModeForAmplitude(amp float64) Mode {
-	eff := amp * a.p.CSIMargin
-	m, _ := a.ModeForSNR(eff * eff * a.meanSNR)
-	return m
+	k := 0
+	for _, c := range a.ampCuts {
+		if amp >= c {
+			k++
+		}
+	}
+	if k == 0 {
+		return a.modes[0]
+	}
+	return a.modes[k-1]
 }
 
 // OutageForAmplitude implements PHY.
 func (a *Adaptive) OutageForAmplitude(amp float64) bool {
-	eff := amp * a.p.CSIMargin
-	_, outage := a.ModeForSNR(eff * eff * a.meanSNR)
-	return outage
+	return amp < a.ampCuts[0]
 }
 
 // PacketErrorProb implements PHY.
@@ -301,6 +349,9 @@ type Fixed struct {
 	mode    Mode
 	modes   []Mode // cached single-element view; Modes is on the frame hot path
 	meanSNR float64
+	// outageCut is the exact minimum amplitude meeting the design-point
+	// SNR (see ampCutoff).
+	outageCut float64
 }
 
 // NewFixed builds the fixed-rate modem from params.
@@ -314,6 +365,8 @@ func NewFixed(p Params) *Fixed {
 		meanSNR: mathx.DBToLinear(p.MeanSNRdB),
 	}
 	f.modes = []Mode{f.mode}
+	f.outageCut = ampCutoff(math.Sqrt(f.mode.SNRThreshold/f.meanSNR),
+		func(amp float64) bool { return amp*amp*f.meanSNR >= f.mode.SNRThreshold })
 	return f
 }
 
@@ -335,7 +388,7 @@ func (f *Fixed) ModeForAmplitude(float64) Mode { return f.mode }
 // OutageForAmplitude implements PHY: the fixed encoder is in (soft) outage
 // when the SNR drops below its design point.
 func (f *Fixed) OutageForAmplitude(amp float64) bool {
-	return amp*amp*f.meanSNR < f.mode.SNRThreshold
+	return amp < f.outageCut
 }
 
 // PacketErrorProb implements PHY.

@@ -1,0 +1,65 @@
+// Package prof wires -cpuprofile/-memprofile support into the CLI
+// binaries, so perf work can profile the real panel workloads (full
+// figure sweeps, multicell deployments) instead of only microbenchmarks.
+//
+// Usage in a main:
+//
+//	stop, err := prof.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// Mains that exit through os.Exit must call stop explicitly on that path,
+// since deferred calls do not run.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arms a heap
+// snapshot into memPath (when non-empty). The returned stop function is
+// idempotent: it ends the CPU profile and writes the heap profile after a
+// final GC, reporting any write error to stderr (profiles are diagnostics;
+// they must never change the exit status of a successful run).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "prof:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+		}
+	}, nil
+}

@@ -1,0 +1,94 @@
+package rng
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"testing/quick"
+)
+
+// refSeedFor is the original hash/fnv-based derivation, kept as the
+// executable specification for the inlined FNV-1a path: derived seeds are
+// load-bearing (they determine every sample path), so the allocation-free
+// rewrite must reproduce them exactly.
+func refSeedFor(base int64, labels ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u := uint64(base)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	h.Write(buf[:])
+	for _, l := range labels {
+		h.Write([]byte{0x1f})
+		h.Write([]byte(l))
+	}
+	return int64(h.Sum64())
+}
+
+func TestSeedForMatchesHashFNV(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"chan"},
+		{"chan", "17"},
+		{"mc-chan", "3", "141"},
+		{"", ""},
+		{"ab", "c"},
+		{"a", "bc"},
+	}
+	for _, base := range []int64{0, 1, -1, 42, -1 << 62, 1<<63 - 1} {
+		for _, labels := range cases {
+			if got, want := SeedFor(base, labels...), refSeedFor(base, labels...); got != want {
+				t.Fatalf("SeedFor(%d, %q) = %d, want %d", base, labels, got, want)
+			}
+		}
+	}
+	prop := func(base int64, a, b string) bool {
+		return SeedFor(base, a, b) == refSeedFor(base, a, b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedForIndexedMatchesSprint(t *testing.T) {
+	for _, base := range []int64{0, 1, -7, 123456789} {
+		for _, label := range []string{"chan", "voice", "mc-chan", "rep"} {
+			for _, idx := range [][]int{{0}, {1}, {9}, {10}, {12345}, {-3}, {2, 141}, {0, 0}, {}} {
+				labels := make([]string, len(idx))
+				for k, i := range idx {
+					labels[k] = fmt.Sprint(i)
+				}
+				want := SeedFor(base, append([]string{label}, labels...)...)
+				if got := SeedForIndexed(base, label, idx...); got != want {
+					t.Fatalf("SeedForIndexed(%d, %q, %v) = %d, want %d", base, label, idx, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSeedDerivationAllocFree(t *testing.T) {
+	if n := testing.AllocsPerRun(100, func() {
+		seedSink += SeedForIndexed(42, "chan", 9731)
+	}); n != 0 {
+		t.Fatalf("SeedForIndexed allocates %v per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		seedSink += SeedFor(42, "mac", "charisma")
+	}); n != 0 {
+		t.Fatalf("SeedFor allocates %v per call, want 0", n)
+	}
+}
+
+func TestDeriveIndexedMatchesDerive(t *testing.T) {
+	a := DeriveIndexed(7, "chan", 31)
+	b := Derive(7, "chan", "31")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("DeriveIndexed stream diverged from Derive")
+		}
+	}
+}
+
+var seedSink int64

@@ -99,7 +99,7 @@ func RepSeed(base int64, i int) int64 {
 	if i == 0 {
 		return base
 	}
-	return rng.SeedFor(base, "rep", fmt.Sprint(i))
+	return rng.SeedForIndexed(base, "rep", i)
 }
 
 // Runner executes plans on a bounded worker pool.

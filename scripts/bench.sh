@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Perf-trajectory harness: runs the substrate and figure benchmarks and
+# snapshots them into a committed BENCH_<pr>.json, so each perf PR leaves a
+# comparable data point behind (PR 4 starts the trajectory).
+#
+# Usage:
+#   scripts/bench.sh snapshot   # full run, writes BENCH_${BENCH_PR:-4}.json
+#   scripts/bench.sh smoke      # CI: 1 iteration + zero-alloc guard, no file
+#
+# Environment:
+#   BENCH_PR     PR number stamped into the snapshot (default 4)
+#   BENCH_COUNT  -count for the substrate benches (default 5)
+#   BENCH_OUT    output path (default BENCH_${BENCH_PR}.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=${1:-snapshot}
+pr=${BENCH_PR:-4}
+out=${BENCH_OUT:-BENCH_${pr}.json}
+
+# The hot paths that must stay allocation-free: the channel plane's frame
+# advance, its memoized queries and batched replay, mode selection, and the
+# event engine's steady state.
+ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule)$'
+
+case "$mode" in
+  smoke)
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    go test -run '^$' -benchtime 1x -benchmem -timeout 10m \
+      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$' \
+      . | tee "$raw"
+    go run ./cmd/benchsnap -in "$raw" -assert-zero-allocs "$ZERO_ALLOC"
+    ;;
+  snapshot)
+    raw=$(mktemp)
+    trap 'rm -f "$raw"' EXIT
+    # Substrate microbenches: repeated samples for a stable min/median.
+    go test -run '^$' -count "${BENCH_COUNT:-5}" -benchmem -timeout 60m \
+      -bench 'BenchmarkChannelBankFrame|BenchmarkChannelBankQuery|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkCharismaFrame|BenchmarkScenarioRun|BenchmarkEngineSchedule$|BenchmarkSimulatedSecondAllProtocols' \
+      . | tee "$raw"
+    # One representative panel per figure: the end-to-end workload shape.
+    # A single iteration is already a full reduced-effort panel sweep.
+    go test -run '^$' -count 1 -benchtime 1x -benchmem -timeout 60m \
+      -bench 'BenchmarkFig11a|BenchmarkFig12a|BenchmarkFig13a' . | tee -a "$raw"
+    go run ./cmd/benchsnap -pr "$pr" -in "$raw" -out "$out" \
+      -assert-zero-allocs "$ZERO_ALLOC"
+    ;;
+  *)
+    echo "usage: scripts/bench.sh [snapshot|smoke]" >&2
+    exit 2
+    ;;
+esac
