@@ -531,6 +531,38 @@ func BenchmarkMulticellSharded(b *testing.B) {
 	}
 }
 
+// TestActiveFrameSteadyStateAllocs is the allocs/op regression guard on
+// the *active*-cell frame path, complementing the idle-cell
+// TestFrameHotPathAllocs in internal/mac: once the request free list and
+// the schedulers' candidate scratch reach their high-water marks, a frame
+// of every protocol — with and without the BS request queue — must not
+// allocate at all.
+func TestActiveFrameSteadyStateAllocs(t *testing.T) {
+	for _, p := range core.Protocols() {
+		for _, q := range []bool{false, true} {
+			sc := core.DefaultScenario(p)
+			sc.NumVoice, sc.NumData = 60, 10
+			sc.UseQueue = q
+			sys, proto, err := sc.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			proto.Init(sys)
+			for f := 0; f < 2000; f++ {
+				sys.BeginFrame()
+				sys.EndFrame(proto.RunFrame(sys))
+			}
+			avg := testing.AllocsPerRun(2000, func() {
+				sys.BeginFrame()
+				sys.EndFrame(proto.RunFrame(sys))
+			})
+			if avg != 0 {
+				t.Errorf("%s queue=%v: %.4f allocs/frame at steady state, want 0", p, q, avg)
+			}
+		}
+	}
+}
+
 func BenchmarkCharismaFrame(b *testing.B) {
 	sc := core.DefaultScenario(core.ProtoCharisma)
 	sc.NumVoice, sc.NumData = 60, 10
@@ -539,6 +571,15 @@ func BenchmarkCharismaFrame(b *testing.B) {
 		b.Fatal(err)
 	}
 	proto.Init(sys)
+	// Warm up past the transient: the request free list and the
+	// scheduler's candidate scratch reach their high-water marks within
+	// a few talkspurt cycles, after which the frame path is
+	// allocation-free (the zero-alloc gate in scripts/bench.sh measures
+	// exactly this steady state).
+	for f := 0; f < 2000; f++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

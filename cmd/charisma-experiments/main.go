@@ -23,6 +23,15 @@
 //	    # serve tasks to remote `charisma-worker -coordinator` processes
 //	charisma-experiments -exp fig11a -listen :9123 -remote-only
 //	    # coordinator only: all simulation done by attached workers
+//	charisma-experiments -exp fig11a -listen :9123 -lease-ttl 30s
+//	    # fault tolerance: a worker that stops heartbeating for 30 s is
+//	    # presumed dead and its tasks are re-queued — the sweep completes
+//	    # with byte-identical results regardless of crash timing
+//
+// While a sweep runs, live per-point progress streams to stderr (one
+// line per point as its replications settle, with partial aggregates and
+// CI95 half-widths — incremental panel data ahead of the final merge);
+// -progress=false silences it.
 //
 // SIGINT/SIGTERM cancel the sweep cleanly: in-flight replications finish
 // or stop, nothing is written mid-render.
@@ -56,6 +65,8 @@ func main() {
 		maxReps    = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
 		listen     = flag.String("listen", "", "serve grid tasks to remote charisma-worker processes on this address")
 		remoteOnly = flag.Bool("remote-only", false, "no local simulation: all work done by remote workers (requires -listen)")
+		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "re-queue a remote worker's tasks after this long without heartbeats (0 = never expire)")
+		progress   = flag.Bool("progress", true, "render live per-point sweep progress to stderr as replications settle")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -90,6 +101,9 @@ func main() {
 	rc.PrecisionRel = *precision
 	rc.MaxReplications = *maxReps
 	rc.Stats = &grid.SweepStats{}
+	if *progress {
+		rc.OnProgress = experiments.ProgressPrinter(os.Stderr)
+	}
 
 	if *remoteOnly && *listen == "" {
 		fmt.Fprintln(os.Stderr, "charisma-experiments: -remote-only requires -listen")
@@ -98,6 +112,7 @@ func main() {
 	}
 	if *listen != "" {
 		srv := grid.NewServer()
+		srv.LeaseTTL = *leaseTTL
 		rc.Server = srv
 		rc.RemoteOnly = *remoteOnly
 		go func() {

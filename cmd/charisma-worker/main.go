@@ -13,6 +13,15 @@
 // simulated (content-addressed on hash(spec, rep-seed), the same keys the
 // coordinator uses). The worker exits when the coordinator reports it has
 // closed, after -max-idle without work, or on SIGINT/SIGTERM.
+//
+// When the coordinator dispatches under lease (its -lease-ttl), the
+// worker heartbeats every task it is executing at a third of the TTL; a
+// worker that is SIGKILLed simply stops heartbeating, the coordinator
+// re-queues its tasks for the surviving workers, and a worker that
+// outlives a revoked lease abandons the task instead of posting a result
+// the coordinator would discard. The -id flag names the worker for the
+// coordinator's re-queue exclusion (a worker is not immediately handed
+// back a task it timed out on); it defaults to "<hostname>-<pid>".
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 func main() {
 	var (
 		coordinator = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:9123")
+		id          = flag.String("id", "", "worker id reported to the coordinator (default <hostname>-<pid>)")
 		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 		cacheDir    = flag.String("cache-dir", "", "worker-local content-addressed replication cache")
 		poll        = flag.Duration("poll", 200*time.Millisecond, "idle re-poll interval")
@@ -47,6 +57,7 @@ func main() {
 
 	w := grid.Worker{
 		Coordinator: *coordinator,
+		ID:          *id,
 		Parallel:    *parallel,
 		Cache:       grid.NewCache(*cacheDir),
 		Poll:        *poll,

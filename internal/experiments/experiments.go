@@ -65,6 +65,11 @@ type RunConfig struct {
 	// Stats, when non-nil, accumulates simulated/cache-hit counts across
 	// the sweeps of this config.
 	Stats *grid.SweepStats
+	// OnProgress, when non-nil, receives live progress snapshots while a
+	// sweep runs — per-point partial aggregates with CI95 half-widths as
+	// replications settle — so panels are observable (and their settled
+	// points usable) before the final merge. ProgressPrinter renders them.
+	OnProgress func(grid.Progress)
 }
 
 // DefaultRunConfig returns publication-effort settings: 30 measured seconds
@@ -157,6 +162,7 @@ func (rc RunConfig) runScenarios(ctx context.Context, scs []core.Scenario) ([]ma
 		Server:     rc.Server,
 		RemoteOnly: rc.RemoteOnly,
 		Stats:      rc.Stats,
+		OnProgress: rc.OnProgress,
 	})
 }
 

@@ -6,9 +6,58 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"charisma/internal/channel"
+	"charisma/internal/grid"
 )
+
+// ProgressPrinter returns a grid progress callback that renders live
+// sweep status to w: one line per sweep point the moment it settles —
+// replication count plus the three headline metrics with their
+// across-replication CI95 half-widths, i.e. incremental panel data usable
+// before the sweep's final merge — and a closing summary line. The
+// printer is stateful across the sessions of one process (a multi-panel
+// run attaches one session per sweep) and safe for the single subscriber
+// goroutine grid.RunPoints drives it from.
+func ProgressPrinter(w io.Writer) func(grid.Progress) {
+	var mu sync.Mutex
+	var session int64 = -1
+	var reported []bool
+	doneShown := false
+	return func(p grid.Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		if p.Session != session {
+			session = p.Session
+			reported = make([]bool, len(p.Points))
+			doneShown = false
+		}
+		settled := 0
+		for _, pt := range p.Points {
+			if pt.Settled {
+				settled++
+			}
+		}
+		for _, pt := range p.Points {
+			if !pt.Settled || reported[pt.Point] {
+				continue
+			}
+			reported[pt.Point] = true
+			a := pt.Aggregate
+			fmt.Fprintf(w, "progress: point %d/%d settled (%d/%d): %d reps, loss=%.4g±%.2g thr=%.4g±%.2g delay=%.4g±%.2g\n",
+				pt.Point+1, len(p.Points), settled, len(p.Points), a.Reps.Replications,
+				a.VoiceLossRate, a.Reps.VoiceLossCI95,
+				a.DataThroughputPerFrame, a.Reps.DataThroughputCI95,
+				a.MeanDataDelaySec, a.Reps.DataDelayCI95)
+		}
+		if p.Done && !doneShown {
+			doneShown = true
+			fmt.Fprintf(w, "progress: sweep done: %d points, %d simulated, %d cache hits, %d crash re-queues\n",
+				len(p.Points), p.Executed, p.CacheHits, p.Requeues)
+		}
+	}
+}
 
 // RenderPanel writes a figure panel as an aligned data table followed by an
 // ASCII plot, mirroring how the paper presents each figure.

@@ -24,6 +24,10 @@ type DriveConfig struct {
 	RemoteOnly bool
 	// Stats, when non-nil, accumulates simulated/cache-hit counts.
 	Stats *SweepStats
+	// OnProgress, when non-nil, receives coalesced (latest-wins) progress
+	// snapshots while the sweep runs, ending with the final state — live
+	// per-point aggregates before the sweep settles.
+	OnProgress func(Progress)
 }
 
 // RunPoints is the one-call sweep driver shared by the facade and the
@@ -36,6 +40,19 @@ func RunPoints(ctx context.Context, points []Point, cfg DriveConfig) ([]mac.Resu
 	}
 	if cfg.Server != nil {
 		cfg.Server.Attach(sess)
+	}
+	if cfg.OnProgress != nil {
+		// The subscription drains on its own: the channel closes after
+		// the final snapshot when the session settles or ctx is
+		// cancelled — the same two ways the drive below returns.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for p := range sess.Subscribe(ctx) {
+				cfg.OnProgress(p)
+			}
+		}()
+		defer func() { <-done }()
 	}
 	if cfg.RemoteOnly {
 		err = sess.Wait(ctx)
@@ -54,10 +71,12 @@ func RunPoints(ctx context.Context, points []Point, cfg DriveConfig) ([]mac.Resu
 // RunLocal drives a session to completion with in-process loopback
 // workers: workers goroutines (one per core when below 1) pull tasks from
 // the session, run them through JobSpec.RunRep, and complete them — the
-// exact loop cmd/charisma-worker runs over HTTP, minus the wire. It
-// returns when the session finishes or the context is cancelled; remote
-// workers attached to the same session via a Server share the queue
-// transparently.
+// exact loop cmd/charisma-worker runs over HTTP, minus the wire. Loopback
+// tasks are held under non-expiring leases: an in-process worker cannot
+// crash without the whole coordinator, where context cancellation already
+// unwinds the session. It returns when the session finishes or the
+// context is cancelled; remote workers attached to the same session via a
+// Server share the queue transparently.
 func RunLocal(ctx context.Context, s *Session, workers int) error {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -73,7 +92,7 @@ func RunLocal(ctx context.Context, s *Session, workers int) error {
 					return
 				}
 				res, err := t.Spec.RunRep(t.Rep)
-				tr := TaskResult{Point: t.Point, Rep: t.Rep, Result: res}
+				tr := TaskResult{Point: t.Point, Rep: t.Rep, Lease: t.Lease, Result: res}
 				if err != nil {
 					tr.Err = err.Error()
 				}

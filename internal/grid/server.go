@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 )
 
 // Wire envelope types: the session id pins results to the sweep that
@@ -15,12 +16,22 @@ import (
 // coordinator process is rejected instead of corrupting it.
 type wireTask struct {
 	Session string
+	// LeaseMS is the lease TTL in milliseconds. A positive value asks the
+	// worker to heartbeat (POST /heartbeat) well within every window or
+	// lose the task to re-queueing; zero means the lease never expires.
+	LeaseMS int64 `json:",omitempty"`
 	Task
 }
 
 type wireResult struct {
 	Session string
 	TaskResult
+}
+
+// wireBeat is one heartbeat: the worker renewing its lease on a task.
+type wireBeat struct {
+	Session string
+	Lease   int64
 }
 
 // maxResultBody bounds a posted result; a mac.Result is a few hundred
@@ -30,14 +41,29 @@ const maxResultBody = 1 << 20
 // Server exposes sessions to remote workers over HTTP — the
 // coordinator/worker protocol:
 //
-//	GET  /task   → 200 {Session, Point, Rep, Spec} | 204 no work right
-//	               now (poll again) | 410 coordinator closed (exit)
-//	POST /result ← {Session, Point, Rep, Err?, Result} → 204 | 409 stale
-//	GET  /stats  → 200 {Executed, CacheHits, Done}
+//	GET  /task?worker=ID → 200 {Session, LeaseMS?, Lease, Point, Rep,
+//	               Spec} | 204 no work right now (poll again) |
+//	               410 coordinator closed (exit)
+//	POST /heartbeat ← {Session, Lease} → 204 lease renewed | 409 lease or
+//	               session superseded (abandon the task)
+//	POST /result ← {Session, Lease, Point, Rep, Err?, Result} → 204
+//	               (accepted or discarded as stale) | 409 stale session
+//	GET  /progress → 200 Progress snapshot | 204 no session attached
+//	GET  /stats  → 200 {Executed, CacheHits, Requeues, Done}
 //
 // One server outlives its sessions: a multi-sweep run attaches each
 // sweep's session in turn and workers keep polling across the gaps.
+//
+// With a positive LeaseTTL every dispatched task can expire: a worker
+// that crashes (or loses its network) stops heartbeating, its lease
+// lapses, and the session re-queues the task for the surviving workers —
+// the sweep completes with byte-identical results instead of stalling.
 type Server struct {
+	// LeaseTTL is the deadline granted on each dispatched task and on
+	// each heartbeat renewal. Zero disables expiry: a crashed worker then
+	// strands its in-flight tasks until the coordinator is cancelled.
+	LeaseTTL time.Duration
+
 	mu     sync.Mutex
 	sess   *Session
 	sessID string
@@ -46,7 +72,8 @@ type Server struct {
 }
 
 // NewServer returns a server with no session attached (workers poll 204
-// until one arrives).
+// until one arrives) and lease expiry disabled; set LeaseTTL before
+// serving to enable crash re-queueing.
 func NewServer() *Server { return &Server{} }
 
 // Attach makes s the current session new tasks are served from. Results
@@ -85,12 +112,25 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		t, ok, _ := sess.TryNext()
+		t, ok, _ := sess.TryClaim(r.URL.Query().Get("worker"), sv.LeaseTTL)
 		if !ok {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		writeJSON(w, wireTask{Session: id, Task: t})
+		writeJSON(w, wireTask{Session: id, LeaseMS: sv.LeaseTTL.Milliseconds(), Task: t})
+
+	case r.Method == http.MethodPost && r.URL.Path == "/heartbeat":
+		var hb wireBeat
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxResultBody)).Decode(&hb); err != nil {
+			http.Error(w, "bad heartbeat: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		sess, id, _ := sv.current()
+		if sess == nil || hb.Session != id || !sess.Renew(hb.Lease, sv.LeaseTTL) {
+			http.Error(w, "lease superseded", http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 
 	case r.Method == http.MethodPost && r.URL.Path == "/result":
 		var res wireResult
@@ -103,21 +143,34 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "stale session", http.StatusConflict)
 			return
 		}
+		// A result under a superseded lease is discarded inside Complete;
+		// the worker is answered 204 either way — there is nothing it
+		// should retry.
 		if err := sess.Complete(res.TaskResult); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 
+	case r.Method == http.MethodGet && r.URL.Path == "/progress":
+		sess, _, _ := sv.current()
+		if sess == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, sess.Progress())
+
 	case r.Method == http.MethodGet && r.URL.Path == "/stats":
 		sess, _, _ := sv.current()
 		st := struct {
 			Executed  int
 			CacheHits int
+			Requeues  int
 			Done      bool
 		}{}
 		if sess != nil {
-			st.Executed, st.CacheHits, st.Done = sess.Executed(), sess.CacheHits(), sess.Done()
+			st.Executed, st.CacheHits, st.Requeues, st.Done =
+				sess.Executed(), sess.CacheHits(), sess.Requeues(), sess.Done()
 		}
 		writeJSON(w, st)
 

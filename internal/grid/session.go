@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"charisma/internal/mac"
 	"charisma/internal/run"
@@ -48,18 +50,27 @@ type Point struct {
 }
 
 // Task is one schedulable unit of work: replication Rep of the point's
-// spec. The spec rides along so a worker needs no side channel.
+// spec. The spec rides along so a worker needs no side channel. Lease
+// identifies the dispatch the task was handed out under (see the lease
+// lifecycle on Session); a result must echo it so the coordinator can
+// tell a current execution from a superseded one.
 type Task struct {
 	Point int
 	Rep   int
+	Lease int64
 	Spec  JobSpec
 }
 
 // TaskResult reports one executed task. Err is a string so the type
-// crosses the wire; an empty Err means Result is valid.
+// crosses the wire; an empty Err means Result is valid. Lease echoes the
+// dispatch lease the task was claimed under; zero marks a direct
+// completion that bypassed lease dispatch (legacy callers, tests), which
+// is accepted only while the (point, rep) slot is still awaiting a
+// result.
 type TaskResult struct {
 	Point  int
 	Rep    int
+	Lease  int64  `json:",omitempty"`
 	Err    string `json:",omitempty"`
 	Result mac.Result
 }
@@ -77,6 +88,24 @@ type pointState struct {
 	errs      []error
 }
 
+// lease tracks one outstanding task dispatch. A lease with a zero
+// deadline never expires — the loopback pool uses that form, because an
+// in-process worker can only die with the whole coordinator, where
+// context cancellation already unwinds the session. An expirable lease
+// (remote dispatch) must be renewed via Renew before its deadline or the
+// task is re-queued and the lease superseded.
+type lease struct {
+	id       int64
+	task     Task
+	key      string
+	worker   string
+	deadline time.Time
+}
+
+// sessionSerial numbers sessions process-wide so progress consumers can
+// tell consecutive sweeps of one process apart.
+var sessionSerial atomic.Int64
+
 // Session is one sweep's coordinator state. It is safe for concurrent use
 // by any mix of transports: loopback workers, the HTTP server, and cache
 // resolution all pull from and complete into the same queue, so every
@@ -86,19 +115,41 @@ type pointState struct {
 // growth decisions depend only on completed results — never on timing or
 // on which transport ran a task — so a session's Results are
 // byte-identical across transports and across warm-cache re-runs.
+//
+// Lease lifecycle: every dispatched task is wrapped in a lease. An
+// expirable lease that misses its deadline is presumed crashed: the task
+// re-enters the queue (with the late worker excluded from immediately
+// re-claiming it) and the lease is superseded, so a result that later
+// arrives under it is discarded before it can touch the cache or the
+// point states. Exactly one delivery per (spec, rep-seed) key ever
+// lands, which is why crash timing and duplicate deliveries can never
+// change the bytes a sweep produces.
 type Session struct {
 	points []Point
 	hashes []string
 	cache  Cache
 	prec   Precision
+	serial int64
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// cond wakes task waiters (NextWait, Wait): signalled when work is
+	// queued, re-queued, or the session closes. progCond wakes progress
+	// waiters and is signalled on every version bump — keeping the two
+	// apart stops a mere claim (which only removes work) from waking
+	// every blocked worker.
 	cond     *sync.Cond
+	progCond *sync.Cond
 	queue    []Task
 	inflight map[string][]ref
 	states   []*pointState
+	leases   map[int64]*lease
+	leaseSeq int64
+	avoid    map[string]string // repKey → worker excluded from immediate re-pickup
+	expiry   *time.Timer
+	version  int64
 	executed int
 	hits     int
+	requeues int
 	closed   bool
 }
 
@@ -115,10 +166,14 @@ func NewSession(points []Point, cache Cache, prec Precision) (*Session, error) {
 		hashes:   make([]string, len(points)),
 		cache:    cache,
 		prec:     prec,
+		serial:   sessionSerial.Add(1),
 		inflight: make(map[string][]ref),
 		states:   make([]*pointState, len(points)),
+		leases:   make(map[int64]*lease),
+		avoid:    make(map[string]string),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.progCond = sync.NewCond(&s.mu)
 	for j, pt := range points {
 		if err := pt.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("grid: point %d: %w", j, err)
@@ -145,6 +200,7 @@ func NewSession(points []Point, cache Cache, prec Precision) (*Session, error) {
 	}
 	s.settleLoop(work)
 	s.checkDone()
+	s.bump()
 	return s, nil
 }
 
@@ -152,6 +208,15 @@ func NewSession(points []Point, cache Cache, prec Precision) (*Session, error) {
 // immutable session state, so no lock is needed.
 func (s *Session) repKey(j, rep int) string {
 	return RepKey(s.hashes[j], run.RepSeed(s.points[j].Spec.BaseSeed(), rep))
+}
+
+// bump advances the progress version and wakes progress subscribers.
+// Task waiters are woken separately, only by events that give them
+// something to do (work queued or re-queued, session closed). Caller
+// holds s.mu.
+func (s *Session) bump() {
+	s.version++
+	s.progCond.Broadcast()
 }
 
 // growPoint raises point j's target to target reps, resolving each new rep
@@ -279,27 +344,174 @@ func (s *Session) checkDone() {
 	}
 	if !s.closed {
 		s.closed = true
+		if s.expiry != nil {
+			s.expiry.Stop()
+		}
 		s.cond.Broadcast()
+		s.bump()
 	}
 }
 
-// TryNext pops a queued task without blocking. ok reports a task was
-// returned; done reports the session has finished (no task will ever come
-// again). Neither ok nor done means the queue is momentarily empty — more
-// tasks may appear when adaptive growth triggers.
-func (s *Session) TryNext() (t Task, ok, done bool) {
+// claim pops the next claimable task and wraps it in a lease (expirable
+// when ttl > 0). A worker whose previous lease on a task expired is
+// skipped over that task while any other queued task exists — the
+// zombie-worker guard: a worker that outlived its lease must not
+// immediately re-claim the same task and time it out again — but falls
+// back to it when it is the only work left, so a lone surviving worker
+// still makes progress. Caller holds s.mu.
+func (s *Session) claim(worker string, ttl time.Duration) (Task, bool) {
+	if len(s.queue) == 0 {
+		return Task{}, false
+	}
+	pick := 0
+	if worker != "" && len(s.avoid) > 0 {
+		pick = -1
+		fallback := -1
+		for i := range s.queue {
+			if s.avoid[s.repKey(s.queue[i].Point, s.queue[i].Rep)] == worker {
+				if fallback < 0 {
+					fallback = i
+				}
+				continue
+			}
+			pick = i
+			break
+		}
+		if pick < 0 {
+			pick = fallback
+		}
+	}
+	t := s.queue[pick]
+	s.queue = append(s.queue[:pick], s.queue[pick+1:]...)
+	key := s.repKey(t.Point, t.Rep)
+	delete(s.avoid, key)
+	s.leaseSeq++
+	l := &lease{id: s.leaseSeq, key: key, worker: worker}
+	if ttl > 0 {
+		l.deadline = time.Now().Add(ttl)
+	}
+	t.Lease = l.id
+	l.task = t
+	s.leases[l.id] = l
+	if ttl > 0 {
+		s.armExpiry()
+	}
+	s.bump()
+	return t, true
+}
+
+// armExpiry (re)schedules the expiry sweep for the earliest expirable
+// deadline; a no-op when nothing can expire. Caller holds s.mu.
+func (s *Session) armExpiry() {
+	if s.closed {
+		return
+	}
+	var next time.Time
+	for _, l := range s.leases {
+		if l.deadline.IsZero() {
+			continue
+		}
+		if next.IsZero() || l.deadline.Before(next) {
+			next = l.deadline
+		}
+	}
+	if next.IsZero() {
+		return
+	}
+	d := time.Until(next)
+	if d < 0 {
+		d = 0
+	}
+	if s.expiry == nil {
+		s.expiry = time.AfterFunc(d, s.expireTick)
+	} else {
+		s.expiry.Reset(d)
+	}
+}
+
+// expireTick is the expiry timer callback.
+func (s *Session) expireTick() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.queue) > 0 {
-		t = s.queue[0]
-		s.queue = s.queue[1:]
+	if s.closed {
+		return
+	}
+	s.expireOverdue(time.Now())
+	s.armExpiry()
+}
+
+// expireOverdue re-queues every task whose lease deadline has passed: the
+// lease is dropped (superseding it — a result that later arrives under it
+// is discarded), the task goes back to the queue, and the worker that
+// held it is recorded in avoid so it cannot immediately re-claim the same
+// task. Caller holds s.mu.
+func (s *Session) expireOverdue(now time.Time) {
+	changed := false
+	for id, l := range s.leases {
+		if l.deadline.IsZero() || now.Before(l.deadline) {
+			continue
+		}
+		delete(s.leases, id)
+		if l.worker != "" {
+			s.avoid[l.key] = l.worker
+		}
+		t := l.task
+		t.Lease = 0
+		s.queue = append(s.queue, t)
+		s.requeues++
+		changed = true
+	}
+	if changed {
+		s.cond.Broadcast() // re-queued work: wake blocked claimers
+		s.bump()
+	}
+}
+
+// Renew extends an expirable lease's deadline to ttl from now — the
+// worker heartbeat. It reports whether the lease is still current: false
+// means the lease expired (its task was re-queued) or the session closed,
+// and the worker should abandon the task, since its eventual result would
+// be discarded anyway.
+func (s *Session) Renew(id int64, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.leases[id]
+	if !ok || s.closed {
+		return false
+	}
+	if !l.deadline.IsZero() && ttl > 0 {
+		l.deadline = time.Now().Add(ttl)
+		s.armExpiry()
+	}
+	return true
+}
+
+// TryNext pops a queued task without blocking, under a non-expiring
+// lease. ok reports a task was returned; done reports the session has
+// finished (no task will ever come again). Neither ok nor done means the
+// queue is momentarily empty — more tasks may appear when adaptive growth
+// triggers or an expired lease re-queues one.
+func (s *Session) TryNext() (t Task, ok, done bool) {
+	return s.TryClaim("", 0)
+}
+
+// TryClaim pops a queued task without blocking, leased to worker with
+// deadline ttl from now (ttl ≤ 0 means the lease never expires). The
+// worker name feeds the re-queue exclusion — a worker is skipped over a
+// task it previously timed out on while other work exists.
+func (s *Session) TryClaim(worker string, ttl time.Duration) (t Task, ok, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.claim(worker, ttl); ok {
 		return t, true, false
 	}
 	return Task{}, false, s.closed
 }
 
 // NextWait blocks until a task is available, the session finishes, or the
-// context is cancelled; ok is false in the latter two cases.
+// context is cancelled; ok is false in the latter two cases. The task is
+// held under a non-expiring lease (in-process workers fail only with the
+// whole coordinator).
 func (s *Session) NextWait(ctx context.Context) (Task, bool) {
 	stop := context.AfterFunc(ctx, func() {
 		s.mu.Lock()
@@ -313,9 +525,7 @@ func (s *Session) NextWait(ctx context.Context) (Task, bool) {
 		if s.closed || ctx.Err() != nil {
 			return Task{}, false
 		}
-		if len(s.queue) > 0 {
-			t := s.queue[0]
-			s.queue = s.queue[1:]
+		if t, ok := s.claim("", 0); ok {
 			return t, true
 		}
 		s.cond.Wait()
@@ -324,8 +534,10 @@ func (s *Session) NextWait(ctx context.Context) (Task, bool) {
 
 // Complete records one executed task's outcome, caches successes, fans the
 // result out to every deduplicated (point, rep) slot, and runs the
-// adaptive controller on points it completed. Duplicate or stray
-// deliveries are ignored.
+// adaptive controller on points it completed. A result under a superseded
+// lease — the task timed out and was re-queued — is discarded before it
+// can touch the cache or the point states, as are duplicate and stray
+// deliveries, so crash timing never changes what a sweep observes.
 func (s *Session) Complete(r TaskResult) error {
 	if r.Point < 0 || r.Point >= len(s.points) {
 		return fmt.Errorf("grid: result for unknown point %d", r.Point)
@@ -336,6 +548,19 @@ func (s *Session) Complete(r TaskResult) error {
 	key := s.repKey(r.Point, r.Rep)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if r.Lease != 0 {
+		l, ok := s.leases[r.Lease]
+		if !ok || l.key != key {
+			// Superseded lease: the task was re-queued (and possibly
+			// re-executed) after this worker was presumed dead. The late
+			// result would carry the same bytes — RunRep is deterministic
+			// — but exactly one delivery per key may land, so it is
+			// dropped without touching anything.
+			return nil
+		}
+		delete(s.leases, r.Lease)
+		delete(s.avoid, key)
+	}
 	refs := s.inflight[key]
 	delete(s.inflight, key)
 	if len(refs) == 0 {
@@ -343,6 +568,19 @@ func (s *Session) Complete(r TaskResult) error {
 		// cache, so an unscheduled (point, rep) can never plant a result
 		// under a key a future sweep would legitimately look up.
 		return nil
+	}
+	if r.Lease == 0 {
+		// Direct completion without a lease echo (legacy callers, tests):
+		// retire the key's outstanding lease too — at most one exists per
+		// key — or the expiry janitor would later re-queue and re-execute
+		// the already-completed task.
+		for id, l := range s.leases {
+			if l.key == key {
+				delete(s.leases, id)
+				break
+			}
+		}
+		delete(s.avoid, key)
 	}
 	var taskErr error
 	if r.Err != "" {
@@ -371,7 +609,7 @@ func (s *Session) Complete(r TaskResult) error {
 	}
 	s.settleLoop(work)
 	s.checkDone()
-	s.cond.Broadcast()
+	s.bump()
 	return nil
 }
 
@@ -416,6 +654,13 @@ func (s *Session) CacheHits() int {
 	return s.hits
 }
 
+// Requeues returns how many tasks were re-queued from expired leases.
+func (s *Session) Requeues() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requeues
+}
+
 // Replications returns how many replications point j settled on — the
 // initial count, or more when the adaptive controller grew it.
 func (s *Session) Replications(j int) int {
@@ -449,20 +694,158 @@ func (s *Session) Results() ([]mac.Result, error) {
 	return out, errors.Join(errs...)
 }
 
+// PointProgress is one sweep point's live status within a running
+// session: how many replications have resolved and the partial aggregate
+// over the successful ones, so a renderer can draw a panel point before
+// the whole sweep settles.
+type PointProgress struct {
+	Point     int
+	Scheduled int  // replication target so far (may still grow)
+	Done      int  // replications resolved (success or failure)
+	Failed    int  // resolved with an error
+	Settled   bool // no further growth; Done == Scheduled
+	// Aggregate pools the successful replications completed so far via
+	// mac.AggregateReplications; its Reps field carries the live
+	// across-replication CI95 half-widths.
+	Aggregate mac.Result
+}
+
+// Progress is one snapshot of a session's state, Version-stamped so
+// consumers can cheaply detect change. Snapshots are cumulative, not
+// diffs: each carries every point.
+type Progress struct {
+	Session   int64 // process-wide session serial
+	Version   int64 // strictly increases with every state change
+	Points    []PointProgress
+	Executed  int
+	CacheHits int
+	Requeues  int // tasks re-queued from expired leases
+	Leases    int // tasks currently out under a lease
+	Done      bool
+}
+
+// progressLocked copies the snapshot's raw state: counters plus each
+// point's successful results so far. The O(points × reps) aggregation
+// happens in finishProgress, outside the session mutex, so building a
+// snapshot never stalls claimers or completions beyond a copy. Caller
+// holds s.mu.
+func (s *Session) progressLocked() (Progress, [][]mac.Result) {
+	p := Progress{
+		Session:   s.serial,
+		Version:   s.version,
+		Points:    make([]PointProgress, len(s.states)),
+		Executed:  s.executed,
+		CacheHits: s.hits,
+		Requeues:  s.requeues,
+		Leases:    len(s.leases),
+		Done:      s.closed,
+	}
+	good := make([][]mac.Result, len(s.states))
+	for j, st := range s.states {
+		g := make([]mac.Result, 0, st.completed-st.failed)
+		for i, ok := range st.ok {
+			if ok {
+				g = append(g, st.results[i])
+			}
+		}
+		good[j] = g
+		p.Points[j] = PointProgress{
+			Point:     j,
+			Scheduled: st.scheduled,
+			Done:      st.completed,
+			Failed:    st.failed,
+			Settled:   st.settled,
+		}
+	}
+	return p, good
+}
+
+// finishProgress fills in the per-point aggregates from the copied raw
+// results. Runs without the session mutex.
+func finishProgress(p *Progress, good [][]mac.Result) {
+	for j := range p.Points {
+		p.Points[j].Aggregate = mac.AggregateReplications(good[j])
+	}
+}
+
+// Progress returns the current snapshot.
+func (s *Session) Progress() Progress {
+	s.mu.Lock()
+	p, good := s.progressLocked()
+	s.mu.Unlock()
+	finishProgress(&p, good)
+	return p
+}
+
+// WaitProgress blocks until the session's progress version exceeds after,
+// then returns the current snapshot. more is false when no further
+// snapshot will come: the session closed (the returned snapshot is final)
+// or the context was cancelled.
+func (s *Session) WaitProgress(ctx context.Context, after int64) (p Progress, more bool) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.progCond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	for s.version <= after && !s.closed && ctx.Err() == nil {
+		s.progCond.Wait()
+	}
+	p, good := s.progressLocked()
+	more = !s.closed && ctx.Err() == nil
+	s.mu.Unlock()
+	finishProgress(&p, good)
+	return p, more
+}
+
+// Subscribe returns a channel of progress snapshots: one whenever the
+// session's state changes, coalesced latest-wins so a slow consumer never
+// blocks the scheduler and always sees the freshest state. The channel
+// closes after the final snapshot (session done or context cancelled).
+func (s *Session) Subscribe(ctx context.Context) <-chan Progress {
+	ch := make(chan Progress, 1)
+	go func() {
+		defer close(ch)
+		var last int64 = -1
+		for {
+			p, more := s.WaitProgress(ctx, last)
+			if p.Version > last {
+				last = p.Version
+				select {
+				case <-ch: // drop the undelivered stale snapshot
+				default:
+				}
+				ch <- p
+			}
+			if !more {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
 // SweepStats accumulates grid activity across the sessions of one process
 // (a multi-panel experiments run attaches one session per sweep).
 type SweepStats struct {
 	Simulated int
 	CacheHits int
+	Requeues  int
 }
 
 // Observe folds one finished session's counters into the stats.
 func (st *SweepStats) Observe(s *Session) {
 	st.Simulated += s.Executed()
 	st.CacheHits += s.CacheHits()
+	st.Requeues += s.Requeues()
 }
 
 // String renders the counters for operator output.
 func (st *SweepStats) String() string {
+	if st.Requeues > 0 {
+		return fmt.Sprintf("grid: %d simulated, %d cache hits, %d crash re-queues",
+			st.Simulated, st.CacheHits, st.Requeues)
+	}
 	return fmt.Sprintf("grid: %d simulated, %d cache hits", st.Simulated, st.CacheHits)
 }

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -20,9 +22,19 @@ import (
 // results back — the client half of the grid protocol, shared by
 // cmd/charisma-worker and the in-process tests so both exercise the same
 // code.
+//
+// When the coordinator dispatches tasks under expirable leases, the
+// worker heartbeats each task it is executing at a third of the lease
+// TTL. A heartbeat answered 409 means the lease was superseded — the
+// coordinator presumed this worker dead and re-queued the task — so the
+// worker abandons the task quietly: its result would be discarded anyway.
 type Worker struct {
 	// Coordinator is the base URL of the coordinator server.
 	Coordinator string
+	// ID names this worker to the coordinator; it feeds the crash
+	// re-queue exclusion (a worker is not immediately handed back a task
+	// it previously timed out on). Empty means "<hostname>-<pid>".
+	ID string
 	// Parallel bounds concurrent simulations; below 1 means one per core.
 	Parallel int
 	// Cache, when non-nil, short-circuits tasks whose RepKey the worker
@@ -42,6 +54,10 @@ type Worker struct {
 func (w Worker) Run(ctx context.Context) error {
 	if w.Coordinator == "" {
 		return errors.New("grid: worker needs a coordinator URL")
+	}
+	if w.ID == "" {
+		host, _ := os.Hostname()
+		w.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	base := strings.TrimSuffix(w.Coordinator, "/")
 	n := w.Parallel
@@ -78,7 +94,7 @@ func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		wt, status, err := fetchTask(ctx, client, base)
+		wt, status, err := w.fetchTask(ctx, client, base)
 		switch {
 		case status == http.StatusGone:
 			return nil
@@ -94,7 +110,13 @@ func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll
 			}
 		case status == http.StatusOK:
 			idleSince = time.Now()
-			if perr := postResult(ctx, client, base, w.execute(wt)); perr != nil {
+			res, lost := w.executeLeased(ctx, client, base, wt)
+			if lost {
+				// The lease was superseded mid-execution; the result
+				// would be discarded, so don't bother posting it.
+				continue
+			}
+			if perr := postResult(ctx, client, base, res); perr != nil {
 				return perr
 			}
 		default:
@@ -103,10 +125,51 @@ func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll
 	}
 }
 
+// executeLeased runs one task while heartbeating its lease. lost reports
+// that the coordinator superseded the lease before the task finished.
+func (w Worker) executeLeased(ctx context.Context, client *http.Client, base string, wt wireTask) (res wireResult, lost bool) {
+	if wt.Lease == 0 || wt.LeaseMS <= 0 {
+		return w.execute(wt), false
+	}
+	interval := time.Duration(wt.LeaseMS) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	superseded := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				// Transport errors are tolerated: a momentary coordinator
+				// hiccup should not make the worker abandon real work.
+				// Only an explicit 409 does.
+				if ok, err := postBeat(hbCtx, client, base, wt.Session, wt.Lease); err == nil && !ok {
+					close(superseded)
+					return
+				}
+			}
+		}
+	}()
+	res = w.execute(wt)
+	stopHB()
+	select {
+	case <-superseded:
+		return res, true
+	default:
+		return res, false
+	}
+}
+
 // execute runs one task (or serves it from the worker-local cache) and
 // wraps the outcome for the wire.
 func (w Worker) execute(wt wireTask) wireResult {
-	out := wireResult{Session: wt.Session, TaskResult: TaskResult{Point: wt.Point, Rep: wt.Rep}}
+	out := wireResult{Session: wt.Session, TaskResult: TaskResult{Point: wt.Point, Rep: wt.Rep, Lease: wt.Lease}}
 	if err := wt.Spec.Validate(); err != nil {
 		out.Err = err.Error()
 		return out
@@ -133,8 +196,9 @@ func (w Worker) execute(wt wireTask) wireResult {
 	return out
 }
 
-func fetchTask(ctx context.Context, client *http.Client, base string) (wireTask, int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/task", nil)
+func (w Worker) fetchTask(ctx context.Context, client *http.Client, base string) (wireTask, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/task?worker="+url.QueryEscape(w.ID), nil)
 	if err != nil {
 		return wireTask{}, 0, err
 	}
@@ -152,6 +216,35 @@ func fetchTask(ctx context.Context, client *http.Client, base string) (wireTask,
 		return wireTask{}, resp.StatusCode, fmt.Errorf("grid: bad task payload: %w", err)
 	}
 	return wt, resp.StatusCode, nil
+}
+
+// postBeat renews one lease. renewed is false on an explicit 409 (the
+// lease or session was superseded); transport and other failures return
+// an error instead, which callers treat as transient.
+func postBeat(ctx context.Context, client *http.Client, base, session string, lease int64) (renewed bool, err error) {
+	body, err := json.Marshal(wireBeat{Session: session, Lease: lease})
+	if err != nil {
+		return false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/heartbeat", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return true, nil
+	case http.StatusConflict:
+		return false, nil
+	default:
+		return false, fmt.Errorf("grid: coordinator answered %d to /heartbeat", resp.StatusCode)
+	}
 }
 
 // postResult delivers one result, retrying transient failures a few times

@@ -26,8 +26,9 @@
 package charisma
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"charisma/internal/channel"
 	"charisma/internal/mac"
@@ -51,6 +52,11 @@ type Protocol struct {
 	avgEta []float64
 	// cands is the per-minislot contention candidate scratch.
 	cands []*mac.Station
+	// pool and stale are the per-frame candidate scratch, reused across
+	// frames so the gather/allocate cycle stops allocating once they
+	// reach their high-water marks.
+	pool  []candidate
+	stale []*candidate
 }
 
 // New returns a CHARISMA instance.
@@ -154,7 +160,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 
 	// --- Gather phase ---
 
-	pool := make([]*candidate, 0, 16)
+	pool := p.pool[:0]
 
 	// Reservation requests the BS auto-generates for admitted voice
 	// users (§4.3: one per 20 ms voice period, materialized by the
@@ -165,16 +171,10 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// live in the reserved bucket of the station registry.
 	s.ForEachReserved(func(st *mac.Station) {
 		if st.Voice.Buffered() > 0 {
-			pool = append(pool, &candidate{
-				r: &mac.Request{
-					St:    st,
-					Kind:  mac.KindVoice,
-					NPkts: st.Voice.Buffered(),
-					Born:  s.Now(),
-					Est:   p.resEst[st.ID],
-				},
-				reserved: true,
-			})
+			r := s.BorrowRequest()
+			r.St, r.Kind, r.NPkts, r.Born, r.Est =
+				st, mac.KindVoice, st.Voice.Buffered(), s.Now(), p.resEst[st.ID]
+			pool = append(pool, candidate{r: r, reserved: true})
 		}
 	})
 
@@ -183,7 +183,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// Gathered after the reservation scan so a station whose earlier
 	// request still sits in the queue is not double-represented.
 	for _, r := range s.TakeQueue() {
-		pool = append(pool, &candidate{r: r})
+		pool = append(pool, candidate{r: r})
 	}
 
 	// CSI-polling subframe: refresh the Nb most important stale
@@ -195,8 +195,8 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 
 	// Every station already represented in the pool (reservation or
 	// dequeued backlog) must not contend again this frame.
-	for _, c := range pool {
-		p.ackedAt[c.r.St.ID] = frame
+	for i := range pool {
+		p.ackedAt[pool[i].r.St.ID] = frame
 	}
 
 	// Request phase: Nr contention minislots gather new requests —
@@ -207,23 +207,27 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			continue
 		}
 		p.ackedAt[w.ID] = frame
-		pool = append(pool, &candidate{r: s.NewRequest(w, s.RequestKind(w))})
+		pool = append(pool, candidate{r: s.NewRequest(w, s.RequestKind(w))})
 	}
 
 	// --- Allocation phase ---
 
-	for _, c := range pool {
-		p.priority(s, c)
+	for i := range pool {
+		p.priority(s, &pool[i])
 	}
-	sort.SliceStable(pool, func(i, j int) bool {
-		if pool[i].prio != pool[j].prio {
-			return pool[i].prio > pool[j].prio
+	// (prio desc, ID asc) is a strict total order over distinct stations,
+	// so the stable sort's result is unique — identical to the
+	// sort.SliceStable it replaces, minus its reflection allocations.
+	slices.SortStableFunc(pool, func(a, b candidate) int {
+		if a.prio != b.prio {
+			return cmp.Compare(b.prio, a.prio)
 		}
-		return pool[i].r.St.ID < pool[j].r.St.ID
+		return cmp.Compare(a.r.St.ID, b.r.St.ID)
 	})
 
 	overhead := g.CharismaGrantOverheadSymbols
-	for _, c := range pool {
+	for i := range pool {
+		c := &pool[i]
 		st := c.r.St
 		var want int
 		if c.r.Kind == mac.KindVoice {
@@ -265,11 +269,13 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			p.resEst[st.ID] = s.MeasureEstimate(st)
 			// Fully served or not, the reservation regenerates the
 			// request next frame for any remainder.
+			s.FreeRequest(c.r)
 			c.r = nil
 		} else {
 			s.TransmitData(st, c.mode, n)
 			// Data allocations are one-shot: the station must
 			// contend again for any remaining backlog (§4.1).
+			s.FreeRequest(c.r)
 			c.r = nil
 		}
 	}
@@ -279,33 +285,41 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// Unserved contention-borne requests survive in the BS queue when it
 	// is enabled; without the queue they are lost and the stations must
 	// contend again. Reservation requests regenerate from BS state.
-	for _, c := range pool {
-		if c.r == nil || c.reserved {
+	for i := range pool {
+		c := &pool[i]
+		if c.r == nil {
 			continue
 		}
-		s.Enqueue(c.r)
+		if c.reserved || !s.Enqueue(c.r) {
+			s.FreeRequest(c.r)
+		}
+		c.r = nil
 	}
+	p.pool = pool
 	return g.Duration()
 }
 
 // pollCSI spends the Nb pilot slots refreshing the highest-priority stale
-// estimates among the backlog candidates.
-func (p *Protocol) pollCSI(s *mac.System, pool []*candidate) {
-	var stale []*candidate
-	for _, c := range pool {
-		if s.EstimateStale(c.r.Est) {
-			p.priority(s, c)
-			stale = append(stale, c)
+// estimates among the backlog candidates. The stale scratch holds
+// pointers into pool's backing array; they are only live within this
+// call, before any append or sort moves the candidates.
+func (p *Protocol) pollCSI(s *mac.System, pool []candidate) {
+	stale := p.stale[:0]
+	for i := range pool {
+		if s.EstimateStale(pool[i].r.Est) {
+			p.priority(s, &pool[i])
+			stale = append(stale, &pool[i])
 		}
 	}
+	p.stale = stale
 	if len(stale) == 0 {
 		return
 	}
-	sort.SliceStable(stale, func(i, j int) bool {
-		if stale[i].prio != stale[j].prio {
-			return stale[i].prio > stale[j].prio
+	slices.SortStableFunc(stale, func(a, b *candidate) int {
+		if a.prio != b.prio {
+			return cmp.Compare(b.prio, a.prio)
 		}
-		return stale[i].r.St.ID < stale[j].r.St.ID
+		return cmp.Compare(a.r.St.ID, b.r.St.ID)
 	})
 	n := s.Cfg.Geometry.CharismaPilotSlots
 	if n > len(stale) {

@@ -1,0 +1,42 @@
+// Package mac provides the substrate shared by all six uplink access
+// control protocols: station state, the request/contention machinery with
+// permission probabilities (§2, "Request Contention Model"), voice
+// reservations, the optional base-station request queue (§4.5), CSI
+// estimate lifecycle, and the transmission bookkeeping that converts PHY
+// packet-error draws into the paper's performance metrics.
+//
+// # Layering
+//
+// A System is one cell's simulation state; a Protocol (charisma, drma,
+// dtdma, rama, rmav — each its own subpackage) drives it one frame at a
+// time through BeginFrame → RunFrame → EndFrame. Protocols observe and
+// mutate stations only through the System's helpers (Contend,
+// NewRequest, TransmitVoice/TransmitData, the queue operations), which
+// keeps the metric accounting and the randomness discipline in one
+// place: MAC-side draws (contention coins, packet errors, CSI noise)
+// come from the System's stream, never from the channel or traffic
+// streams, so every protocol observes identical channel and traffic
+// sample paths — the paper's common-random-numbers comparison.
+//
+// # Performance invariants
+//
+// The frame hot path is allocation-free at steady state and costs
+// O(active stations), not O(population):
+//
+//   - The station registry (registry.go) buckets stations by state
+//     (idle/pending/reserved/talkspurt/backlogged) in bitsets with an
+//     idle wake queue, so frame scans touch only stations that can act.
+//   - Channel fading is replayed lazily: an unobserved station's fading
+//     is deferred and caught up in one batched AdvanceSteps when next
+//     observed, consuming exactly the draws the eager schedule would
+//     have (see the draw-order contract in package channel) — results
+//     are byte-identical to advancing every station every frame.
+//   - Request objects are pooled per System (BorrowRequest/FreeRequest):
+//     a request lives from creation to retirement (served, rejected, or
+//     scrubbed) and is then recycled, so schedulers allocate nothing per
+//     frame once scratch high-water marks are reached.
+//
+// TestFrameHotPathAllocs (idle cell) and the facade-level
+// TestActiveFrameSteadyStateAllocs (active cell, every protocol, both
+// queue variants) pin these invariants.
+package mac

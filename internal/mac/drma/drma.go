@@ -69,6 +69,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 		if (r.Kind == mac.KindVoice && (r.St.Voice == nil || (r.St.Voice.Buffered() == 0 && !r.St.Voice.Talking()))) ||
 			(r.Kind == mac.KindData && (r.St.Data == nil || r.St.Data.Backlog() == 0)) {
 			s.SetPendingAtBS(r.St, false)
+			s.FreeRequest(r)
 			continue
 		}
 		grants = append(grants, r)
@@ -103,6 +104,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 				s.TransmitData(r.St, mode, 1)
 				s.M.AddInfoUsed(g.InfoSlotSymbols)
 			}
+			s.FreeRequest(r)
 			continue
 		}
 		// Unassigned: the slot converts into Nx request minislots. The

@@ -139,7 +139,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			break // FCFS: the head blocks until capacity frees up
 		}
 		budget -= used
-		s.PopQueueAt(i)
+		s.FreeRequest(s.PopQueueAt(i))
 	}
 
 	// Phase 3: request contention with immediate FCFS assignment.
@@ -162,10 +162,13 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 		}
 		if used > 0 {
 			budget -= used
+			s.FreeRequest(r)
 			continue
 		}
 		// Acknowledged but the frame is full: queue it or lose it.
-		s.Enqueue(r)
+		if !s.Enqueue(r) {
+			s.FreeRequest(r)
+		}
 	}
 	return g.Duration()
 }

@@ -1,14 +1,9 @@
-// Package mac provides the substrate shared by all six uplink access
-// control protocols: station state, the request/contention machinery with
-// permission probabilities (§2, "Request Contention Model"), voice
-// reservations, the optional base-station request queue (§4.5), CSI
-// estimate lifecycle, and the transmission bookkeeping that converts PHY
-// packet-error draws into the paper's performance metrics.
 package mac
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"charisma/internal/channel"
 	"charisma/internal/frame"
@@ -217,6 +212,11 @@ type System struct {
 
 	reg   registry
 	queue []*Request
+	// reqFree recycles retired Request objects: schedulers create a
+	// handful per frame, so without pooling they dominate the frame
+	// path's allocations. See BorrowRequest/FreeRequest for the
+	// ownership rules.
+	reqFree []*Request
 
 	// DebugVoiceTx, when non-nil, observes every voice transmission
 	// (station, mode, scheduler-side amplitude estimate, estimate age,
@@ -417,10 +417,39 @@ func (s *System) Contend(cands []*Station) *Station {
 	return winner
 }
 
+// BorrowRequest returns a zeroed request from the per-system free list
+// (allocating only when the list is empty). A request stays live from
+// here until it is retired — fully served, rejected by a full or
+// disabled queue, or scrubbed — at which point its last holder must hand
+// it back through FreeRequest; the BS queue and DRMA's pending list hold
+// live requests across frames and retire them on removal. With every
+// retirement accounted for, the steady-state frame path allocates no
+// request objects at all.
+func (s *System) BorrowRequest() *Request {
+	if n := len(s.reqFree); n > 0 {
+		r := s.reqFree[n-1]
+		s.reqFree = s.reqFree[:n-1]
+		*r = Request{}
+		return r
+	}
+	return new(Request)
+}
+
+// FreeRequest retires a request to the free list. The caller must hold
+// the only remaining reference: the next BorrowRequest/NewRequest will
+// recycle the object and overwrite it in place.
+func (s *System) FreeRequest(r *Request) {
+	if r != nil {
+		s.reqFree = append(s.reqFree, r)
+	}
+}
+
 // NewRequest builds a request for a contention winner, measuring CSI from
-// the pilot symbols embedded in the request packet (§4.3/§4.4).
+// the pilot symbols embedded in the request packet (§4.3/§4.4). The
+// request comes from the free list; see BorrowRequest for its lifetime.
 func (s *System) NewRequest(st *Station, kind Kind) *Request {
-	r := &Request{St: st, Kind: kind, Born: s.now}
+	r := s.BorrowRequest()
+	r.St, r.Kind, r.Born = st, kind, s.now
 	if kind == KindVoice {
 		r.NPkts = st.Voice.Buffered()
 	} else {
@@ -490,11 +519,13 @@ func (s *System) VoiceReservationsDue() []*Station {
 	})
 	due := s.reg.dueScratch
 	if len(due) > 1 {
-		sort.Slice(due, func(i, j int) bool {
-			if due[i].NextVoiceDue != due[j].NextVoiceDue {
-				return due[i].NextVoiceDue < due[j].NextVoiceDue
+		// (due time, ID) is a strict total order, so the sort result is
+		// unique and the swap from sort.Slice changed no draws.
+		slices.SortFunc(due, func(a, b *Station) int {
+			if a.NextVoiceDue != b.NextVoiceDue {
+				return cmp.Compare(a.NextVoiceDue, b.NextVoiceDue)
 			}
-			return due[i].ID < due[j].ID
+			return cmp.Compare(a.ID, b.ID)
 		})
 	}
 	return due
@@ -625,10 +656,12 @@ func (s *System) scrubQueue() {
 	for _, r := range s.queue {
 		if r.Kind == KindVoice && r.St.Voice.Buffered() == 0 {
 			s.SetPendingAtBS(r.St, false)
+			s.FreeRequest(r)
 			continue
 		}
 		if r.Kind == KindData && r.St.Data.Backlog() == 0 {
 			s.SetPendingAtBS(r.St, false)
+			s.FreeRequest(r)
 			continue
 		}
 		kept = append(kept, r)

@@ -100,7 +100,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 		}
 		s.M.AddInfoUsed(g.InfoSlotSymbols)
 		slotsLeft--
-		s.PopQueueAt(i)
+		s.FreeRequest(s.PopQueueAt(i))
 	}
 
 	// Auction subframe.
@@ -122,9 +122,12 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			}
 			s.M.AddInfoUsed(g.InfoSlotSymbols)
 			slotsLeft--
+			s.FreeRequest(r)
 			continue
 		}
-		s.Enqueue(r)
+		if !s.Enqueue(r) {
+			s.FreeRequest(r)
+		}
 	}
 	return g.Duration()
 }

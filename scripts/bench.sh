@@ -8,27 +8,28 @@
 #   scripts/bench.sh smoke      # CI: 1 iteration + zero-alloc guard, no file
 #
 # Environment:
-#   BENCH_PR     PR number stamped into the snapshot (default 4)
+#   BENCH_PR     PR number stamped into the snapshot (default 5)
 #   BENCH_COUNT  -count for the substrate benches (default 5)
 #   BENCH_OUT    output path (default BENCH_${BENCH_PR}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=${1:-snapshot}
-pr=${BENCH_PR:-4}
+pr=${BENCH_PR:-5}
 out=${BENCH_OUT:-BENCH_${pr}.json}
 
 # The hot paths that must stay allocation-free: the channel plane's frame
-# advance, its memoized queries and batched replay, mode selection, and the
-# event engine's steady state.
-ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule)$'
+# advance, its memoized queries and batched replay, mode selection, the
+# event engine's steady state, and (since the request free list of PR 5)
+# the CHARISMA frame path over an active cell.
+ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule|CharismaFrame)$'
 
 case "$mode" in
   smoke)
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
     go test -run '^$' -benchtime 1x -benchmem -timeout 10m \
-      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$' \
+      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$|BenchmarkCharismaFrame' \
       . | tee "$raw"
     go run ./cmd/benchsnap -in "$raw" -assert-zero-allocs "$ZERO_ALLOC"
     ;;
