@@ -95,6 +95,8 @@ func main() {
 		pr       = flag.Int("pr", 0, "PR number stamped into the snapshot")
 		assertRe = flag.String("assert-zero-allocs", "",
 			"regex of benchmark names (without the Benchmark prefix) that must report 0 allocs/op; violations exit 1")
+		assertMax = flag.String("assert-max-metric", "",
+			"ceiling on a custom metric, as <name-regex>:<metric>:<max> (e.g. 'IdleCellPopulation/n=100000:B/station:64'); violations exit 1")
 	)
 	flag.Parse()
 
@@ -200,6 +202,57 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmarks allocation-free\n", matched)
+	}
+
+	if *assertMax != "" {
+		// Split from the right: the metric unit and the ceiling contain no
+		// colon, the name regex may.
+		last := strings.LastIndex(*assertMax, ":")
+		mid := strings.LastIndex((*assertMax)[:max(last, 0)], ":")
+		if last < 0 || mid < 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: -assert-max-metric wants <name-regex>:<metric>:<max>, got %q\n", *assertMax)
+			os.Exit(1)
+		}
+		nameRe, metric := (*assertMax)[:mid], (*assertMax)[mid+1:last]
+		ceil, err := strconv.ParseFloat((*assertMax)[last+1:], 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsnap: bad -assert-max-metric ceiling: %v\n", err)
+			os.Exit(1)
+		}
+		re, err := regexp.Compile(nameRe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		matched, failed := 0, 0
+		for _, name := range order {
+			if !re.MatchString(name) {
+				continue
+			}
+			matched++
+			for _, s := range samples[name] {
+				v, ok := s.metrics[metric]
+				if !ok {
+					fmt.Fprintf(os.Stderr, "benchsnap: %s reports no %q metric\n", name, metric)
+					failed++
+					break
+				}
+				if v > ceil {
+					fmt.Fprintf(os.Stderr, "benchsnap: metric regression: %s %s = %g, ceiling %g\n",
+						name, metric, v, ceil)
+					failed++
+					break
+				}
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(os.Stderr, "benchsnap: -assert-max-metric %q matched no benchmarks\n", nameRe)
+			os.Exit(1)
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmarks within the %s ceiling of %g\n", matched, metric, ceil)
 	}
 
 	if *out != "" && *out != "/dev/null" {

@@ -185,29 +185,52 @@ func (sc Scenario) Build() (*mac.System, mac.Protocol, error) {
 		modem = phy.NewFixed(sc.PHY)
 	}
 
+	// The population is built lazily: stations are deferred until their
+	// first source event, so instantiating a 10⁶-station cell costs one
+	// Station slab plus the registry slabs, not 10⁶ traffic sources and
+	// fading states. First wakes come from the traffic birth probes on a
+	// throwaway stream reseeded per station; materialization later draws
+	// from a fresh stream with the same derived seed, so the sources (and
+	// every downstream draw) are byte-identical to an eager build. The
+	// per-station fading processes are single-user planes seeded exactly
+	// like the shared bank's views ("chan"/i), and the frame loop only
+	// ever advances fading per view, so the sample paths match too.
 	n := sc.NumVoice + sc.NumData
-	var bank *channel.Bank
-	if len(sc.SpeedsKmh) > 0 {
-		bank = channel.NewBankWithSpeeds(sc.SpeedsKmh, sc.Channel, sc.Seed)
-	} else {
-		bank = channel.NewBank(n, sc.Channel, sc.Seed)
-	}
-
-	stations := make([]*mac.Station, n)
+	vp := traffic.DefaultVoiceParams()
+	dp := traffic.DefaultDataParams()
+	firstWake := make([]sim.Time, n)
+	probe := rng.New(0)
 	for i := 0; i < n; i++ {
-		st := &mac.Station{ID: i, Fading: bank.User(i)}
 		if i < sc.NumVoice {
-			st.Voice = traffic.NewVoice(traffic.DefaultVoiceParams(),
-				rng.DeriveIndexed(sc.Seed, "voice", i), 0)
+			probe.Reseed(rng.SeedForIndexed(sc.Seed, "voice", i))
+			firstWake[i] = traffic.ProbeVoiceBirth(vp, probe, 0)
 		} else {
-			st.Data = traffic.NewData(traffic.DefaultDataParams(),
-				rng.DeriveIndexed(sc.Seed, "data", i), 0)
+			probe.Reseed(rng.SeedForIndexed(sc.Seed, "data", i))
+			firstWake[i] = traffic.ProbeDataBirth(dp, probe, 0)
 		}
-		stations[i] = st
+	}
+	seed, numVoice := sc.Seed, sc.NumVoice
+	chp, speeds := sc.Channel, sc.SpeedsKmh
+	pop := &mac.LazyPopulation{
+		FirstWake: firstWake,
+		Materialize: func(i int) (*traffic.VoiceSource, *traffic.DataSource, *channel.Fading) {
+			p := chp
+			if len(speeds) > 0 {
+				// Mirror channel.NewBankWithSpeeds: per-station speed,
+				// Doppler re-derived from it.
+				p.SpeedKmh = speeds[i]
+				p.DopplerHz = 0
+			}
+			fad := channel.NewFading(p, rng.DeriveIndexed(seed, "chan", i))
+			if i < numVoice {
+				return traffic.NewVoice(vp, rng.DeriveIndexed(seed, "voice", i), 0), nil, fad
+			}
+			return nil, traffic.NewData(dp, rng.DeriveIndexed(seed, "data", i), 0), fad
+		},
 	}
 
 	macStream := rng.Derive(sc.Seed, "mac", sc.Protocol)
-	sys, err := mac.NewSystem(sc.MAC, modem, stations, macStream)
+	sys, err := mac.NewSystemLazy(sc.MAC, modem, n, macStream, pop)
 	if err != nil {
 		return nil, nil, err
 	}

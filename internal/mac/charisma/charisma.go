@@ -133,7 +133,7 @@ func (p *Protocol) priority(s *mac.System, c *candidate) {
 	fd := float64(s.FrameDuration())
 	if c.r.Kind == mac.KindVoice {
 		framesLeft := 0.0
-		if pkt, ok := c.r.St.Voice.Oldest(); ok {
+		if pkt, ok := c.r.St.Voice().Oldest(); ok {
 			framesLeft = float64(pkt.Deadline-s.Now()) / fd
 			if framesLeft < 0 {
 				framesLeft = 0
@@ -170,10 +170,10 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// queue of §4.5 holds only contention-borne requests. Admitted users
 	// live in the reserved bucket of the station registry.
 	s.ForEachReserved(func(st *mac.Station) {
-		if st.Voice.Buffered() > 0 {
+		if st.Voice().Buffered() > 0 {
 			r := s.BorrowRequest()
 			r.St, r.Kind, r.NPkts, r.Born, r.Est =
-				st, mac.KindVoice, st.Voice.Buffered(), s.Now(), p.resEst[st.ID]
+				st, mac.KindVoice, st.Voice().Buffered(), s.Now(), p.resEst[st.ID]
 			pool = append(pool, candidate{r: r, reserved: true})
 		}
 	})
@@ -231,9 +231,9 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 		st := c.r.St
 		var want int
 		if c.r.Kind == mac.KindVoice {
-			want = st.Voice.Buffered()
+			want = st.Voice().Buffered()
 		} else {
-			want = st.Data.Backlog()
+			want = st.Data().Backlog()
 		}
 		if want == 0 {
 			continue // nothing left to send; candidate evaporates
@@ -259,7 +259,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			if s.DebugVoiceTx != nil {
 				s.DebugVoiceTx(st, c.mode, s.EffectiveAmp(c.r.Est), c.r.Est.Age(s.Now()), ok, errs)
 			}
-			if !st.Reserved {
+			if !st.Reserved() {
 				s.GrantReservation(st)
 			}
 			// The information transmission itself carries pilot
@@ -328,7 +328,7 @@ func (p *Protocol) pollCSI(s *mac.System, pool []candidate) {
 	for i := 0; i < n; i++ {
 		c := stale[i]
 		c.r.Est = s.RefreshEstimate(c.r.St)
-		if c.r.Kind == mac.KindVoice && c.r.St.Reserved {
+		if c.r.Kind == mac.KindVoice && c.r.St.Reserved() {
 			p.resEst[c.r.St.ID] = c.r.Est
 		}
 	}

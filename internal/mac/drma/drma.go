@@ -66,8 +66,8 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	// detaches the clone's traffic sources).
 	grants := p.pending[:0]
 	for _, r := range p.pending {
-		if (r.Kind == mac.KindVoice && (r.St.Voice == nil || (r.St.Voice.Buffered() == 0 && !r.St.Voice.Talking()))) ||
-			(r.Kind == mac.KindData && (r.St.Data == nil || r.St.Data.Backlog() == 0)) {
+		if (r.Kind == mac.KindVoice && (r.St.Voice() == nil || (r.St.Voice().Buffered() == 0 && !r.St.Voice().Talking()))) ||
+			(r.Kind == mac.KindData && (r.St.Data() == nil || r.St.Data().Backlog() == 0)) {
 			s.SetPendingAtBS(r.St, false)
 			s.FreeRequest(r)
 			continue
@@ -95,12 +95,12 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			grants = grants[1:]
 			s.SetPendingAtBS(r.St, false)
 			if r.Kind == mac.KindVoice {
-				if r.St.Voice.Buffered() > 0 {
+				if r.St.Voice().Buffered() > 0 {
 					s.TransmitVoice(r.St, mode, 1)
 					s.GrantReservation(r.St)
 					s.M.AddInfoUsed(g.InfoSlotSymbols)
 				}
-			} else if r.St.Data.Backlog() > 0 {
+			} else if r.St.Data().Backlog() > 0 {
 				s.TransmitData(r.St, mode, 1)
 				s.M.AddInfoUsed(g.InfoSlotSymbols)
 			}

@@ -105,7 +105,7 @@ func TestPendingStationsDoNotRecontend(t *testing.T) {
 		sys.BeginFrame()
 		sys.EndFrame(p.RunFrame(sys))
 		for _, st := range sys.Stations {
-			if st.PendingAtBS && sys.NeedsVoiceRequest(st) {
+			if st.PendingAtBS() && sys.NeedsVoiceRequest(st) {
 				t.Fatal("pending station passes NeedsVoiceRequest")
 			}
 		}

@@ -91,8 +91,8 @@ func (p *Protocol) serveData(s *mac.System, st *mac.Station, budget int) int {
 	if pkts < 1 {
 		pkts = 1 // half-rate mode: a lone packet costs two slot times
 	}
-	if pkts > st.Data.Backlog() {
-		pkts = st.Data.Backlog()
+	if pkts > st.Data().Backlog() {
+		pkts = st.Data().Backlog()
 	}
 	// FCFS is channel-blind but not wasteful: it trims the grant to the
 	// remaining subframe.

@@ -30,36 +30,101 @@ func (k Kind) String() string {
 	return "data"
 }
 
-// Station is one mobile device. A station carries a voice source, a data
-// source, or both, plus the MAC-visible state every protocol manipulates.
+// Station is one mobile device. It holds only cold configuration — its
+// identity, its traffic sources, its fading process — packed into 32
+// bytes; all hot per-station state (bucket membership, wake/reservation
+// stamps, fading sync counters, timer-wheel entries) lives in the owning
+// System's structure-of-arrays slabs, indexed by the station's slot (see
+// registry.go). Boolean MAC state is bit-packed into flags. An idle
+// station therefore costs its struct, a pointer in System.Stations, and a
+// handful of slab rows — a few tens of bytes — and a deferred station of a
+// lazy population (see NewSystemLazy) does not even carry sources until
+// its first wake.
 type Station struct {
-	ID     int
-	Voice  *traffic.VoiceSource
-	Data   *traffic.DataSource
-	Fading *channel.Fading
+	ID int
+	// src bundles the traffic sources behind one pointer so a station
+	// carrying either or both pays 8 bytes in the struct; nil for inert
+	// multicell clones and for deferred stations before materialization.
+	src *sources
+	// fad is the station's uplink fading process; nil until a deferred
+	// station materializes.
+	fad *channel.Fading
+	// slot is the station's index in its owner's Stations table and every
+	// slab; -1 until registered.
+	slot int32
+	// flags packs the registry bucket (low 3 bits) with the MAC booleans.
+	flags uint8
+}
 
-	// Reserved marks an active voice reservation: the station owns one
-	// information transmission every voice period without re-contending.
-	Reserved bool
-	// NextVoiceDue is when the reservation next entitles a transmission.
-	NextVoiceDue sim.Time
-	// PendingAtBS marks that a request from this station is held in the
-	// base-station request queue, so the station must not re-contend.
-	PendingAtBS bool
+// sources carries a station's traffic endpoints.
+type sources struct {
+	voice *traffic.VoiceSource
+	data  *traffic.DataSource
+}
 
-	// Registry bookkeeping, owned by the System the station is registered
-	// with (see registry.go).
-	owner  *System
-	slot   int
-	bucket bucketKind
-	// chSynced counts the per-frame fading steps already applied; the gap
-	// to the owner's frame index is replayed lazily when the channel is
-	// next observed (see syncChannel).
-	chSynced int64
-	// wakeAt / wakeQueued track the station's live wake-queue entry while
-	// it sits in the idle bucket.
-	wakeAt     sim.Time
-	wakeQueued bool
+// Station flag bits above the bucket field.
+const (
+	stationBucketBits uint8 = 0x07
+	// flagReserved marks an active voice reservation: the station owns
+	// one information transmission every voice period without
+	// re-contending. The due time lives in the registry's stamp slab.
+	flagReserved uint8 = 1 << 3
+	// flagPendingAtBS marks that a request from this station is held in
+	// the base-station request queue, so the station must not re-contend.
+	flagPendingAtBS uint8 = 1 << 4
+	// flagDeferred marks a lazy-population station whose sources and
+	// fading process have not been constructed yet.
+	flagDeferred uint8 = 1 << 5
+)
+
+func (st *Station) bucket() bucketKind     { return bucketKind(st.flags & stationBucketBits) }
+func (st *Station) setBucket(b bucketKind) { st.flags = st.flags&^stationBucketBits | uint8(b) }
+
+// NewStation builds a station from its cold configuration. Any of the
+// sources and the fading process may be nil (an inert clone carries none).
+func NewStation(id int, v *traffic.VoiceSource, d *traffic.DataSource, fad *channel.Fading) *Station {
+	st := &Station{ID: id, fad: fad, slot: -1}
+	if v != nil || d != nil {
+		st.src = &sources{voice: v, data: d}
+	}
+	return st
+}
+
+// Voice returns the station's voice source, or nil.
+func (st *Station) Voice() *traffic.VoiceSource {
+	if st.src == nil {
+		return nil
+	}
+	return st.src.voice
+}
+
+// Data returns the station's data source, or nil.
+func (st *Station) Data() *traffic.DataSource {
+	if st.src == nil {
+		return nil
+	}
+	return st.src.data
+}
+
+// Fading returns the station's fading process, or nil.
+func (st *Station) Fading() *channel.Fading { return st.fad }
+
+// Reserved reports whether the station holds an active voice reservation.
+func (st *Station) Reserved() bool { return st.flags&flagReserved != 0 }
+
+// PendingAtBS reports whether a request from this station is held at the
+// base station.
+func (st *Station) PendingAtBS() bool { return st.flags&flagPendingAtBS != 0 }
+
+// SetTraffic swaps the station's traffic sources (the multicell
+// attach/detach path). The caller must Reindex the station with its owning
+// system for the change to reach the scan paths.
+func (st *Station) SetTraffic(v *traffic.VoiceSource, d *traffic.DataSource) {
+	if v == nil && d == nil {
+		st.src = nil
+		return
+	}
+	st.src = &sources{voice: v, data: d}
 }
 
 // CharismaParams are the priority-metric weights of CHARISMA's eq. (2):
@@ -193,6 +258,18 @@ type Protocol interface {
 	RunFrame(s *System) sim.Time
 }
 
+// LazyPopulation describes a population whose stations are constructed on
+// first wake instead of up front. FirstWake[i] is station i's first source
+// event time (computed cheaply at build time, e.g. via the traffic birth
+// probes); Materialize builds the real sources and fading process for one
+// slot, and must return objects whose state at time zero matches what an
+// eager build would have produced — the deferred station then replays its
+// traffic and fading exactly as an eagerly built idle station would have.
+type LazyPopulation struct {
+	FirstWake   []sim.Time
+	Materialize func(slot int) (*traffic.VoiceSource, *traffic.DataSource, *channel.Fading)
+}
+
 // System is the per-scenario simulation state shared between the platform
 // and the protocol: stations, PHY, clock, metrics, and the BS queue.
 type System struct {
@@ -210,7 +287,9 @@ type System struct {
 	frameIdx int64
 	lastDur  sim.Time
 
-	reg   registry
+	reg  registry
+	lazy *LazyPopulation
+
 	queue []*Request
 	// reqFree recycles retired Request objects: schedulers create a
 	// handful per frame, so without pooling they dominate the frame
@@ -240,15 +319,84 @@ func NewSystem(cfg Config, modem phy.PHY, stations []*Station, macStream *rng.St
 	s := &System{Cfg: cfg, PHY: modem, Stations: stations, Rand: macStream}
 	s.reg.init(len(stations))
 	for i, st := range stations {
-		st.owner = s
-		st.slot = i
-		st.bucket = classify(st)
-		s.reg.sets[st.bucket].set(i)
-		if st.bucket == bucketIdle {
+		st.slot = int32(i)
+		b := classify(st)
+		st.setBucket(b)
+		s.reg.place(i, b)
+		if b == bucketIdle {
 			s.armWake(st)
 		}
 	}
 	return s, nil
+}
+
+// NewSystemLazy assembles a system of n deferred stations: every station
+// is parked in the idle bucket with its first wake armed in the timer
+// wheel, and its sources and fading process are constructed only when that
+// wake fires (or when an external observer forces it — see MaterializeAll).
+// The station structs live in one contiguous slab, so an idle cell costs
+// O(tens of bytes) per station regardless of how heavy the materialized
+// sources are. Results are byte-identical to building the same population
+// eagerly with NewSystem, because an eagerly built idle station's sources
+// are equally untouched until its first wake.
+func NewSystemLazy(cfg Config, modem phy.PHY, n int, macStream *rng.Stream, pop *LazyPopulation) (*System, error) {
+	if pop == nil || pop.Materialize == nil {
+		return nil, fmt.Errorf("mac: lazy population without a Materialize hook")
+	}
+	if len(pop.FirstWake) != n {
+		return nil, fmt.Errorf("mac: %d first wakes for %d stations", len(pop.FirstWake), n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if modem == nil {
+		return nil, fmt.Errorf("mac: nil PHY")
+	}
+	if macStream == nil {
+		return nil, fmt.Errorf("mac: nil MAC stream")
+	}
+	s := &System{Cfg: cfg, PHY: modem, Rand: macStream, lazy: pop}
+	s.reg.init(n)
+	slab := make([]Station, n)
+	s.Stations = make([]*Station, n)
+	for i := range slab {
+		st := &slab[i]
+		st.ID = i
+		st.slot = int32(i)
+		st.flags = flagDeferred | uint8(bucketIdle)
+		s.Stations[i] = st
+		s.reg.place(i, bucketIdle)
+		if fw := pop.FirstWake[i]; fw >= 0 {
+			s.reg.stamp[i] = fw
+			s.reg.wheel.add(int32(i), fw)
+		}
+	}
+	return s, nil
+}
+
+// materialize constructs a deferred station's sources and fading process.
+func (s *System) materialize(st *Station) {
+	if st.flags&flagDeferred == 0 {
+		return
+	}
+	st.flags &^= flagDeferred
+	v, d, fad := s.lazy.Materialize(int(st.slot))
+	if v != nil || d != nil {
+		st.src = &sources{voice: v, data: d}
+	}
+	st.fad = fad
+}
+
+// MaterializeAll forces construction of every deferred station. External
+// drivers that inspect stations directly (tests, diagnostics) call it
+// before reading sources or fading state; the frame loop never needs it.
+func (s *System) MaterializeAll() {
+	if s.lazy == nil {
+		return
+	}
+	for _, st := range s.Stations {
+		s.materialize(st)
+	}
 }
 
 // Now returns the current frame's start time.
@@ -286,19 +434,22 @@ func (s *System) BeginFrame() {
 // station woken from the idle bucket may safely be visited again by the
 // active-bucket pass of the same frame.
 func (s *System) advanceTraffic(st *Station) {
-	if st.Voice != nil {
-		gen := st.Voice.Advance(s.now)
+	if st.src == nil {
+		return
+	}
+	if v := st.src.voice; v != nil {
+		gen := v.Advance(s.now)
 		s.M.VoiceGenerated.Add(uint64(gen))
-		dropped := st.Voice.DropExpired(s.now)
+		dropped := v.DropExpired(s.now)
 		s.M.VoiceDropped.Add(uint64(dropped))
 		// A reservation lapses once the talkspurt is over and
 		// the buffer has drained (by transmission or drop).
-		if st.Reserved && !st.Voice.Talking() && st.Voice.Buffered() == 0 {
-			st.Reserved = false
+		if st.flags&flagReserved != 0 && !v.Talking() && v.Buffered() == 0 {
+			st.flags &^= flagReserved
 		}
 	}
-	if st.Data != nil {
-		gen := st.Data.Advance(s.now)
+	if d := st.src.data; d != nil {
+		gen := d.Advance(s.now)
 		s.M.DataGenerated.Add(uint64(gen))
 	}
 }
@@ -314,11 +465,13 @@ func (s *System) EndFrame(dur sim.Time) {
 		// Variable-length frame (RMAV): the lazy replay assumes every
 		// deferred step is one standard frame, so settle each channel
 		// eagerly — replay what is owed at the standard duration, then
-		// take this frame's variable-length step.
+		// take this frame's variable-length step. Deferred stations
+		// materialize here: their fading process must take the
+		// variable-length step like everyone else's.
 		for _, st := range s.Stations {
 			s.syncChannel(st)
-			st.Fading.Advance(dur)
-			st.chSynced = s.frameIdx + 1
+			st.fad.Advance(dur)
+			s.reg.chSync[st.slot] = int32(s.frameIdx + 1)
 		}
 	}
 	s.frameIdx++
@@ -334,28 +487,34 @@ func (s *System) EndFrame(dur sim.Time) {
 // the step coefficients once and keeps the recurrence in registers) rather
 // than paying a full Advance per deferred frame.
 func (s *System) syncChannel(st *Station) {
-	if st.owner != s {
+	if !s.owns(st) {
 		return
 	}
-	if k := s.frameIdx - st.chSynced; k > 0 {
-		st.Fading.AdvanceSteps(s.FrameDuration(), int(k))
-		st.chSynced = s.frameIdx
+	if st.flags&flagDeferred != 0 {
+		s.materialize(st)
+	}
+	if k := s.frameIdx - int64(s.reg.chSync[st.slot]); k > 0 {
+		st.fad.AdvanceSteps(s.FrameDuration(), int(k))
+		s.reg.chSync[st.slot] = int32(s.frameIdx)
 	}
 }
 
 // SyncChannel brings a station's fading process up to the state an eager
 // per-frame schedule would show at a frame boundary — after the last
 // completed frame, before the next frame's advance. External observers of
-// st.Fading between frames (the multicell handoff rule, diagnostic traces)
-// must call it before reading, since the frame loop defers fading work
-// until observation.
+// the station's fading between frames (the multicell handoff rule,
+// diagnostic traces) must call it before reading, since the frame loop
+// defers fading work until observation.
 func (s *System) SyncChannel(st *Station) {
-	if st.owner != s {
+	if !s.owns(st) {
 		return
 	}
-	if k := s.frameIdx - 1 - st.chSynced; k > 0 {
-		st.Fading.AdvanceSteps(s.FrameDuration(), int(k))
-		st.chSynced = s.frameIdx - 1
+	if st.flags&flagDeferred != 0 {
+		s.materialize(st)
+	}
+	if k := s.frameIdx - 1 - int64(s.reg.chSync[st.slot]); k > 0 {
+		st.fad.AdvanceSteps(s.FrameDuration(), int(k))
+		s.reg.chSync[st.slot] = int32(s.frameIdx - 1)
 	}
 }
 
@@ -363,7 +522,8 @@ func (s *System) SyncChannel(st *Station) {
 // grant: it has speech packets buffered, no reservation, and no request
 // already queued at the base station.
 func (s *System) NeedsVoiceRequest(st *Station) bool {
-	return st.Voice != nil && st.Voice.Buffered() > 0 && !st.Reserved && !st.PendingAtBS
+	return st.src != nil && st.src.voice != nil && st.src.voice.Buffered() > 0 &&
+		st.flags&(flagReserved|flagPendingAtBS) == 0
 }
 
 // NeedsDataRequest reports whether a station should contend for a data
@@ -371,7 +531,8 @@ func (s *System) NeedsVoiceRequest(st *Station) bool {
 // reservations are never allowed: "a data request is not allowed to make
 // reservation", §4.1.)
 func (s *System) NeedsDataRequest(st *Station) bool {
-	return st.Data != nil && st.Data.Backlog() > 0 && !st.PendingAtBS
+	return st.src != nil && st.src.data != nil && st.src.data.Backlog() > 0 &&
+		st.flags&flagPendingAtBS == 0
 }
 
 // RequestKind classifies what a contending station is asking for. Voice
@@ -451,9 +612,9 @@ func (s *System) NewRequest(st *Station, kind Kind) *Request {
 	r := s.BorrowRequest()
 	r.St, r.Kind, r.Born = st, kind, s.now
 	if kind == KindVoice {
-		r.NPkts = st.Voice.Buffered()
+		r.NPkts = st.src.voice.Buffered()
 	} else {
-		r.NPkts = st.Data.Backlog()
+		r.NPkts = st.src.data.Backlog()
 	}
 	r.Est = s.MeasureEstimate(st)
 	return r
@@ -465,7 +626,7 @@ func (s *System) NewRequest(st *Station, kind Kind) *Request {
 // helpers that do), so the lazy replay is invisible to protocols.
 func (s *System) MeasureEstimate(st *Station) channel.Estimate {
 	s.syncChannel(st)
-	return st.Fading.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
+	return st.fad.MeasureEstimate(s.Cfg.CSIEstNoiseStd, s.Rand, s.now)
 }
 
 // EffectiveAmp returns the amplitude the scheduler should assume for an
@@ -496,6 +657,16 @@ func (s *System) RefreshEstimate(st *Station) channel.Estimate {
 	return s.MeasureEstimate(st)
 }
 
+// NextVoiceDue returns when a station's reservation next entitles a
+// transmission. Meaningful only while the station is Reserved: the
+// underlying slab row doubles as the idle wake stamp.
+func (s *System) NextVoiceDue(st *Station) sim.Time {
+	if !s.owns(st) {
+		return 0
+	}
+	return s.reg.stamp[st.slot]
+}
+
 // VoiceReservationsDue returns stations whose reservation entitles a
 // transmission this frame and that actually have speech queued, ordered by
 // due time then ID for determinism.
@@ -506,10 +677,10 @@ func (s *System) VoiceReservationsDue() []*Station {
 	// re-admission) is honoured before the next reindex.
 	s.reg.dueScratch = s.reg.dueScratch[:0]
 	s.forEachIn(maskReserved|maskTalkspurt|maskPending, func(st *Station) {
-		if !st.Reserved || st.NextVoiceDue > s.now {
+		if st.flags&flagReserved == 0 || s.reg.stamp[st.slot] > s.now {
 			return
 		}
-		if st.Voice.Buffered() == 0 {
+		if st.src.voice.Buffered() == 0 {
 			// Nothing to send this period (packet already dropped);
 			// keep the reservation cadence.
 			s.AdvanceReservation(st)
@@ -521,9 +692,10 @@ func (s *System) VoiceReservationsDue() []*Station {
 	if len(due) > 1 {
 		// (due time, ID) is a strict total order, so the sort result is
 		// unique and the swap from sort.Slice changed no draws.
+		stamp := s.reg.stamp
 		slices.SortFunc(due, func(a, b *Station) int {
-			if a.NextVoiceDue != b.NextVoiceDue {
-				return cmp.Compare(a.NextVoiceDue, b.NextVoiceDue)
+			if stamp[a.slot] != stamp[b.slot] {
+				return cmp.Compare(stamp[a.slot], stamp[b.slot])
 			}
 			return cmp.Compare(a.ID, b.ID)
 		})
@@ -533,18 +705,38 @@ func (s *System) VoiceReservationsDue() []*Station {
 
 // GrantReservation installs a voice reservation starting now.
 func (s *System) GrantReservation(st *Station) {
-	st.Reserved = true
-	st.NextVoiceDue = s.now + s.Cfg.Geometry.VoicePeriod
+	s.GrantReservationAt(st, s.now+s.Cfg.Geometry.VoicePeriod)
+}
+
+// GrantReservationAt installs a voice reservation with an explicit first
+// due time (RMAV's persistent slots recur every frame, so it admits with
+// due = now rather than one voice period out).
+func (s *System) GrantReservationAt(st *Station, due sim.Time) {
+	st.flags |= flagReserved
+	if s.owns(st) {
+		s.reg.stamp[st.slot] = due
+	}
 	s.M.ReservationsGranted.Inc()
+	s.Reindex(st)
+}
+
+// CancelReservation revokes a station's voice reservation (the multicell
+// detach path; a lapsing talkspurt clears itself in advanceTraffic).
+func (s *System) CancelReservation(st *Station) {
+	st.flags &^= flagReserved
 	s.Reindex(st)
 }
 
 // SetPendingAtBS flips the "request held at the base station" flag and
 // re-buckets the station; protocols that track BS-side grants outside the
 // request queue (DRMA's dynamic reservations, RMAV's data grant) use it
-// instead of writing the field directly.
+// instead of writing the flag directly.
 func (s *System) SetPendingAtBS(st *Station, pending bool) {
-	st.PendingAtBS = pending
+	if pending {
+		st.flags |= flagPendingAtBS
+	} else {
+		st.flags &^= flagPendingAtBS
+	}
 	s.Reindex(st)
 }
 
@@ -554,11 +746,15 @@ func (s *System) SetPendingAtBS(st *Station, pending bool) {
 // postpone the following period, or the service rate would fall below the
 // 20 ms packet arrival rate and the buffer would bleed deadline drops.
 func (s *System) AdvanceReservation(st *Station) {
-	period := s.Cfg.Geometry.VoicePeriod
-	st.NextVoiceDue += period
-	for st.NextVoiceDue <= s.now {
-		st.NextVoiceDue += period
+	if !s.owns(st) {
+		return
 	}
+	period := s.Cfg.Geometry.VoicePeriod
+	due := s.reg.stamp[st.slot] + period
+	for due <= s.now {
+		due += period
+	}
+	s.reg.stamp[st.slot] = due
 }
 
 // TransmitVoice sends up to maxPkts buffered voice packets of st in mode m.
@@ -566,13 +762,14 @@ func (s *System) AdvanceReservation(st *Station) {
 // a loss. Returns packets sent OK and in error.
 func (s *System) TransmitVoice(st *Station, m phy.Mode, maxPkts int) (ok, errs int) {
 	s.syncChannel(st)
-	per := s.PHY.PacketErrorProb(m, st.Fading.Amplitude())
-	n := st.Voice.Buffered()
+	per := s.PHY.PacketErrorProb(m, st.fad.Amplitude())
+	v := st.src.voice
+	n := v.Buffered()
 	if n > maxPkts {
 		n = maxPkts
 	}
 	for i := 0; i < n; i++ {
-		if _, popped := st.Voice.Pop(); !popped {
+		if _, popped := v.Pop(); !popped {
 			break
 		}
 		if s.Rand.Bernoulli(per) {
@@ -592,8 +789,8 @@ func (s *System) TransmitVoice(st *Station, m phy.Mode, maxPkts int) (ok, errs i
 // delay. Returns successes and failures.
 func (s *System) TransmitData(st *Station, m phy.Mode, nPkts int) (ok, errs int) {
 	s.syncChannel(st)
-	per := s.PHY.PacketErrorProb(m, st.Fading.Amplitude())
-	ok, errs = st.Data.TransmitAttempts(nPkts, s.now,
+	per := s.PHY.PacketErrorProb(m, st.fad.Amplitude())
+	ok, errs = st.src.data.TransmitAttempts(nPkts, s.now,
 		func() bool { return !s.Rand.Bernoulli(per) },
 		func(delay sim.Time) { s.M.ObserveDataDelay(delay) },
 	)
@@ -654,12 +851,12 @@ func (s *System) scrubQueue() {
 	}
 	kept := s.queue[:0]
 	for _, r := range s.queue {
-		if r.Kind == KindVoice && r.St.Voice.Buffered() == 0 {
+		if r.Kind == KindVoice && r.St.Voice().Buffered() == 0 {
 			s.SetPendingAtBS(r.St, false)
 			s.FreeRequest(r)
 			continue
 		}
-		if r.Kind == KindData && r.St.Data.Backlog() == 0 {
+		if r.Kind == KindData && r.St.Data().Backlog() == 0 {
 			s.SetPendingAtBS(r.St, false)
 			s.FreeRequest(r)
 			continue

@@ -22,13 +22,14 @@ func makeSystem(t *testing.T, nv, nd int, mutate func(*Config)) *System {
 	bank := channel.NewBank(n, channel.DefaultParams(), 1)
 	stations := make([]*Station, n)
 	for i := 0; i < n; i++ {
-		st := &Station{ID: i, Fading: bank.User(i)}
+		var v *traffic.VoiceSource
+		var d *traffic.DataSource
 		if i < nv {
-			st.Voice = traffic.NewVoice(traffic.DefaultVoiceParams(), rng.Derive(1, "v", string(rune('a'+i))), 0)
+			v = traffic.NewVoice(traffic.DefaultVoiceParams(), rng.Derive(1, "v", string(rune('a'+i))), 0)
 		} else {
-			st.Data = traffic.NewData(traffic.DefaultDataParams(), rng.Derive(1, "d", string(rune('a'+i))), 0)
+			d = traffic.NewData(traffic.DefaultDataParams(), rng.Derive(1, "d", string(rune('a'+i))), 0)
 		}
-		stations[i] = st
+		stations[i] = NewStation(i, v, d, bank.User(i))
 	}
 	sys, err := NewSystem(cfg, phy.NewAdaptive(phy.DefaultParams()), stations, rng.Derive(1, "mac"))
 	if err != nil {
@@ -85,13 +86,13 @@ func TestBeginFrameCountsTraffic(t *testing.T) {
 		s.BeginFrame()
 		// Drain everything so buffers do not explode.
 		for _, st := range s.Stations {
-			if st.Voice != nil {
-				for st.Voice.Buffered() > 0 {
-					st.Voice.Pop()
+			if st.Voice() != nil {
+				for st.Voice().Buffered() > 0 {
+					st.Voice().Pop()
 				}
 			}
-			if st.Data != nil {
-				st.Data.TransmitAttempts(st.Data.Backlog(), s.Now(), func() bool { return true }, func(sim.Time) {})
+			if st.Data() != nil {
+				st.Data().TransmitAttempts(st.Data().Backlog(), s.Now(), func() bool { return true }, func(sim.Time) {})
 			}
 		}
 		s.EndFrame(s.FrameDuration())
@@ -114,18 +115,17 @@ func TestBeginFrameDropsExpiredAndReleasesReservation(t *testing.T) {
 	s := makeSystem(t, 1, 0, nil)
 	st := s.Stations[0]
 	// Walk until the station talks and has a packet.
-	for f := 0; st.Voice.Buffered() == 0 && f < 100000; f++ {
+	for f := 0; st.Voice().Buffered() == 0 && f < 100000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
-	st.Reserved = true
-	st.NextVoiceDue = s.Now()
+	s.GrantReservationAt(st, s.Now())
 	// Let every packet expire and the talkspurt end without service.
-	for f := 0; (st.Voice.Talking() || st.Voice.Buffered() > 0) && f < 1000000; f++ {
+	for f := 0; (st.Voice().Talking() || st.Voice().Buffered() > 0) && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
-	if st.Reserved {
+	if st.Reserved() {
 		t.Fatal("reservation not released after talkspurt drained")
 	}
 	if s.M.VoiceDropped.Total() == 0 {
@@ -147,10 +147,10 @@ func TestNeedsRequestPredicates(t *testing.T) {
 	s := makeSystem(t, 1, 1, nil)
 	v, d := s.Stations[0], s.Stations[1]
 	// Walk until both have work.
-	for f := 0; (v.Voice.Buffered() == 0 || d.Data.Backlog() == 0) && f < 1000000; f++ {
+	for f := 0; (v.Voice().Buffered() == 0 || d.Data().Backlog() == 0) && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
-		if v.Voice.Buffered() > 0 && d.Data.Backlog() > 0 {
+		if v.Voice().Buffered() > 0 && d.Data().Backlog() > 0 {
 			break
 		}
 	}
@@ -166,16 +166,16 @@ func TestNeedsRequestPredicates(t *testing.T) {
 	if s.PermissionProb(v) != s.Cfg.PermVoice || s.PermissionProb(d) != s.Cfg.PermData {
 		t.Fatal("permission probabilities wrong")
 	}
-	v.Reserved = true
+	s.GrantReservation(v)
 	if s.NeedsVoiceRequest(v) {
 		t.Fatal("reserved voice station should not contend")
 	}
-	v.Reserved = false
-	v.PendingAtBS = true
+	s.CancelReservation(v)
+	s.SetPendingAtBS(v, true)
 	if s.NeedsVoiceRequest(v) {
 		t.Fatal("queued station should not contend")
 	}
-	d.PendingAtBS = true
+	s.SetPendingAtBS(d, true)
 	if s.NeedsDataRequest(d) {
 		t.Fatal("queued data station should not contend")
 	}
@@ -191,7 +191,7 @@ func TestContendEmpty(t *testing.T) {
 func TestContendSingleEventuallyWins(t *testing.T) {
 	s := makeSystem(t, 1, 0, nil)
 	st := s.Stations[0]
-	for f := 0; st.Voice.Buffered() == 0 && f < 1000000; f++ {
+	for f := 0; st.Voice().Buffered() == 0 && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
@@ -215,11 +215,11 @@ func TestContendCollisionsCounted(t *testing.T) {
 	var cands []*Station
 	for _, st := range s.Stations {
 		// Force every station to want a voice grant.
-		for f := 0; st.Voice.Buffered() == 0 && f < 1000000; f++ {
+		for f := 0; st.Voice().Buffered() == 0 && f < 1000000; f++ {
 			s.BeginFrame()
 			s.EndFrame(s.FrameDuration())
 		}
-		if st.Voice.Buffered() > 0 {
+		if st.Voice().Buffered() > 0 {
 			cands = append(cands, st)
 		}
 	}
@@ -236,14 +236,14 @@ func TestContendCollisionsCounted(t *testing.T) {
 
 func TestQueueSemantics(t *testing.T) {
 	s := makeSystem(t, 2, 0, func(c *Config) { c.UseQueue = true; c.QueueCap = 2 })
-	a, b, cExtra := s.Stations[0], s.Stations[1], &Station{ID: 99}
+	a, b, cExtra := s.Stations[0], s.Stations[1], NewStation(99, nil, nil, nil)
 	ra := &Request{St: a, Kind: KindVoice}
 	rb := &Request{St: b, Kind: KindVoice}
 	rc := &Request{St: cExtra, Kind: KindVoice}
 	if !s.Enqueue(ra) || !s.Enqueue(rb) {
 		t.Fatal("enqueue within cap failed")
 	}
-	if !a.PendingAtBS || !b.PendingAtBS {
+	if !a.PendingAtBS() || !b.PendingAtBS() {
 		t.Fatal("pending flags not set")
 	}
 	if s.Enqueue(rc) {
@@ -256,11 +256,11 @@ func TestQueueSemantics(t *testing.T) {
 		t.Fatalf("queue length %d", s.QueueLen())
 	}
 	got := s.PopQueueAt(0)
-	if got != ra || ra.St.PendingAtBS {
+	if got != ra || ra.St.PendingAtBS() {
 		t.Fatal("PopQueueAt wrong")
 	}
 	rest := s.TakeQueue()
-	if len(rest) != 1 || rest[0] != rb || rb.St.PendingAtBS {
+	if len(rest) != 1 || rest[0] != rb || rb.St.PendingAtBS() {
 		t.Fatal("TakeQueue wrong")
 	}
 	if s.QueueLen() != 0 {
@@ -283,10 +283,10 @@ func TestScrubQueueRemovesMootRequests(t *testing.T) {
 	// Voice buffer and data backlog are empty at t=0, so both requests
 	// are moot and the next BeginFrame must scrub them.
 	s.BeginFrame()
-	if v.PendingAtBS && v.Voice.Buffered() == 0 {
+	if v.PendingAtBS() && v.Voice().Buffered() == 0 {
 		t.Fatal("moot voice request not scrubbed")
 	}
-	if d.PendingAtBS && d.Data.Backlog() == 0 {
+	if d.PendingAtBS() && d.Data().Backlog() == 0 {
 		t.Fatal("moot data request not scrubbed")
 	}
 }
@@ -295,7 +295,7 @@ func TestReservationCadenceAnchored(t *testing.T) {
 	s := makeSystem(t, 1, 0, nil)
 	st := s.Stations[0]
 	s.GrantReservation(st)
-	first := st.NextVoiceDue
+	first := s.NextVoiceDue(st)
 	if first != s.Now()+s.Cfg.Geometry.VoicePeriod {
 		t.Fatal("grant did not schedule one period ahead")
 	}
@@ -305,24 +305,23 @@ func TestReservationCadenceAnchored(t *testing.T) {
 		s.EndFrame(s.FrameDuration())
 	}
 	s.AdvanceReservation(st)
-	if st.NextVoiceDue != first+s.Cfg.Geometry.VoicePeriod {
-		t.Fatalf("cadence drifted: due = %v, want %v", st.NextVoiceDue, first+s.Cfg.Geometry.VoicePeriod)
+	if got := s.NextVoiceDue(st); got != first+s.Cfg.Geometry.VoicePeriod {
+		t.Fatalf("cadence drifted: due = %v, want %v", got, first+s.Cfg.Geometry.VoicePeriod)
 	}
 }
 
 func TestAdvanceReservationCatchesUp(t *testing.T) {
 	s := makeSystem(t, 1, 0, nil)
 	st := s.Stations[0]
-	st.Reserved = true
-	st.NextVoiceDue = 0
+	s.GrantReservationAt(st, 0)
 	for i := 0; i < 100; i++ { // advance 100 frames = 12.5 periods
 		s.EndFrame(s.FrameDuration())
 	}
 	s.AdvanceReservation(st)
-	if st.NextVoiceDue <= s.Now() {
+	if s.NextVoiceDue(st) <= s.Now() {
 		t.Fatal("AdvanceReservation left the due time in the past")
 	}
-	if st.NextVoiceDue > s.Now()+s.Cfg.Geometry.VoicePeriod {
+	if s.NextVoiceDue(st) > s.Now()+s.Cfg.Geometry.VoicePeriod {
 		t.Fatal("AdvanceReservation overshot by more than one period")
 	}
 }
@@ -335,7 +334,7 @@ func TestVoiceReservationsDueOrderingAndSkip(t *testing.T) {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 		for _, st := range s.Stations {
-			if st.Voice.Buffered() == 0 {
+			if st.Voice().Buffered() == 0 {
 				all = false
 			}
 		}
@@ -345,14 +344,13 @@ func TestVoiceReservationsDueOrderingAndSkip(t *testing.T) {
 	}
 	a, b, c := s.Stations[0], s.Stations[1], s.Stations[2]
 	for _, st := range []*Station{a, b, c} {
-		if st.Voice.Buffered() == 0 {
+		if st.Voice().Buffered() == 0 {
 			t.Skip("station never accumulated packets")
 		}
 	}
-	a.Reserved, b.Reserved, c.Reserved = true, true, true
-	a.NextVoiceDue = s.Now() - 10
-	b.NextVoiceDue = s.Now() - 20
-	c.NextVoiceDue = s.Now() + 1000 // not due
+	s.GrantReservationAt(a, s.Now()-10)
+	s.GrantReservationAt(b, s.Now()-20)
+	s.GrantReservationAt(c, s.Now()+1000) // not due
 	due := s.VoiceReservationsDue()
 	if len(due) != 2 {
 		t.Fatalf("%d due, want 2", len(due))
@@ -365,17 +363,17 @@ func TestVoiceReservationsDueOrderingAndSkip(t *testing.T) {
 func TestTransmitVoiceAccounting(t *testing.T) {
 	s := makeSystem(t, 1, 0, nil)
 	st := s.Stations[0]
-	for f := 0; st.Voice.Buffered() == 0 && f < 1000000; f++ {
+	for f := 0; st.Voice().Buffered() == 0 && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
-	n := st.Voice.Buffered()
+	n := st.Voice().Buffered()
 	mode := s.PHY.Modes()[0] // most robust mode: errors essentially impossible at normal amplitude
 	ok, errs := s.TransmitVoice(st, mode, n)
 	if ok+errs != n {
 		t.Fatalf("transmitted %d, want %d", ok+errs, n)
 	}
-	if st.Voice.Buffered() != 0 {
+	if st.Voice().Buffered() != 0 {
 		t.Fatal("voice packets not consumed")
 	}
 	if s.M.VoiceTxOK.Total() != uint64(ok) || s.M.VoiceTxErr.Total() != uint64(errs) {
@@ -386,7 +384,7 @@ func TestTransmitVoiceAccounting(t *testing.T) {
 func TestTransmitVoiceDeepFadeErrors(t *testing.T) {
 	s := makeSystem(t, 1, 0, nil)
 	st := s.Stations[0]
-	for f := 0; st.Voice.Buffered() == 0 && f < 1000000; f++ {
+	for f := 0; st.Voice().Buffered() == 0 && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
@@ -404,12 +402,12 @@ func TestTransmitVoiceDeepFadeErrors(t *testing.T) {
 func TestTransmitDataRecordsDelay(t *testing.T) {
 	s := makeSystem(t, 0, 1, nil)
 	st := s.Stations[0]
-	for f := 0; st.Data.Backlog() == 0 && f < 1000000; f++ {
+	for f := 0; st.Data().Backlog() == 0 && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
 	mode := s.PHY.Modes()[0]
-	n := st.Data.Backlog()
+	n := st.Data().Backlog()
 	if n > 10 {
 		n = 10
 	}
@@ -460,12 +458,12 @@ func TestEstimateStale(t *testing.T) {
 func TestNewRequestCarriesPilotEstimate(t *testing.T) {
 	s := makeSystem(t, 1, 1, nil)
 	v, d := s.Stations[0], s.Stations[1]
-	for f := 0; (v.Voice.Buffered() == 0 || d.Data.Backlog() == 0) && f < 1000000; f++ {
+	for f := 0; (v.Voice().Buffered() == 0 || d.Data().Backlog() == 0) && f < 1000000; f++ {
 		s.BeginFrame()
 		s.EndFrame(s.FrameDuration())
 	}
 	rv := s.NewRequest(v, KindVoice)
-	if rv.NPkts != v.Voice.Buffered() || rv.Kind != KindVoice {
+	if rv.NPkts != v.Voice().Buffered() || rv.Kind != KindVoice {
 		t.Fatal("voice request fields wrong")
 	}
 	if rv.Est.At != s.Now() {
@@ -475,7 +473,7 @@ func TestNewRequestCarriesPilotEstimate(t *testing.T) {
 		t.Fatal("estimate amplitude not positive")
 	}
 	rd := s.NewRequest(d, KindData)
-	if rd.NPkts != d.Data.Backlog() || rd.Kind != KindData {
+	if rd.NPkts != d.Data().Backlog() || rd.Kind != KindData {
 		t.Fatal("data request fields wrong")
 	}
 }

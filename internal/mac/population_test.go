@@ -1,0 +1,140 @@
+package mac_test
+
+// Population-scale tests for the lazy-instantiation path: a million-station
+// cell must fit a hard per-station memory budget, and the idle-wake frame
+// path must stay allocation-free at 10⁵ stations (the property the CI
+// zero-alloc guard pins).
+
+import (
+	"runtime"
+	"testing"
+
+	"charisma/internal/channel"
+	"charisma/internal/mac"
+	"charisma/internal/phy"
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+	"charisma/internal/traffic"
+)
+
+// idleBudgetBytes is the hard ceiling on resident heap per idle station for
+// a deferred (never materialized) population: the 32-byte Station struct,
+// its slot in the Stations slab, the stamp/chSync/loc/pos registry slabs,
+// the bucket bitsets, and the station's timer-wheel bucket entry. See
+// DESIGN.md ("Station memory layout & timer wheel") for the accounting.
+const idleBudgetBytes = 64
+
+// parkedLazySystem builds an n-station cell where every station is deferred
+// with a common far-future first wake — the cheapest possible population,
+// pinning the platform's fixed per-station cost.
+func parkedLazySystem(tb testing.TB, n int) (*mac.System, float64) {
+	tb.Helper()
+	fw := make([]sim.Time, n)
+	for i := range fw {
+		fw[i] = 1 << 40 // ~decades of simulated time away
+	}
+	pop := &mac.LazyPopulation{
+		FirstWake: fw,
+		Materialize: func(slot int) (*traffic.VoiceSource, *traffic.DataSource, *channel.Fading) {
+			tb.Fatalf("parked station %d materialized", slot)
+			return nil, nil, nil
+		},
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sys, err := mac.NewSystemLazy(mac.DefaultConfig(), phy.NewAdaptive(phy.DefaultParams()), n, rng.New(1), pop)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return sys, float64(after.HeapAlloc-before.HeapAlloc) / float64(n)
+}
+
+// TestMillionStationMemoryBudget instantiates a 10⁶-station cell and holds
+// the measured resident heap to idleBudgetBytes per station.
+func TestMillionStationMemoryBudget(t *testing.T) {
+	const n = 1_000_000
+	sys, perStation := parkedLazySystem(t, n)
+	t.Logf("%d stations: %.1f B/station resident", n, perStation)
+	if perStation > idleBudgetBytes {
+		t.Fatalf("resident heap %.1f B/station, budget %d", perStation, idleBudgetBytes)
+	}
+	// The cell must also be runnable: a frame over a fully parked million
+	// stations touches no station state.
+	for f := 0; f < 10; f++ {
+		sys.BeginFrame()
+		sys.EndFrame(sys.FrameDuration())
+	}
+	if err := sys.VerifyRegistry(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.KeepAlive(sys)
+}
+
+// cyclingLazySystem builds an n-station lazy cell where the first nActive
+// stations carry real voice sources (cycling through talkspurts and
+// silences, waking via the timer wheel) and the rest stay parked far in
+// the future. Active sources are pre-built so FirstWake can be read off
+// NextEventAt; Materialize hands out the pre-built source on first wake.
+func cyclingLazySystem(tb testing.TB, n, nActive int) *mac.System {
+	tb.Helper()
+	vp := traffic.DefaultVoiceParams()
+	voices := make([]*traffic.VoiceSource, nActive)
+	fw := make([]sim.Time, n)
+	for i := range fw {
+		if i < nActive {
+			voices[i] = traffic.NewVoice(vp, rng.DeriveIndexed(41, "popv", i), 0)
+			fw[i] = voices[i].NextEventAt()
+		} else {
+			fw[i] = 1 << 40
+		}
+	}
+	pop := &mac.LazyPopulation{
+		FirstWake: fw,
+		Materialize: func(slot int) (*traffic.VoiceSource, *traffic.DataSource, *channel.Fading) {
+			if slot >= nActive {
+				tb.Fatalf("parked station %d materialized", slot)
+			}
+			return voices[slot], nil, nil
+		},
+	}
+	sys, err := mac.NewSystemLazy(mac.DefaultConfig(), phy.NewAdaptive(phy.DefaultParams()), n, rng.New(2), pop)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// TestIdleWakeHotPathAllocs extends the zero-alloc frame guard to the
+// idle-wake path at 10⁵ stations: once wheel buckets and scratch slices
+// have reached their high-water marks, a frame that wakes stations off the
+// timer wheel, advances their talkspurts, and re-parks them must not
+// allocate. Silences of ~1.35 s park wakes several wheel levels up, so the
+// steady state exercises arm, cascade, and collect.
+func TestIdleWakeHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long warmup")
+	}
+	sys := cyclingLazySystem(t, 100_000, 2000)
+	// Warm past one full level-1 wheel revolution (64·64 granules ≈ 5243
+	// frames) so every wheel bucket and scratch slice has seen its peak,
+	// and past every source's first long unserved talkspurt (~1.3 s of
+	// talking) so voice buffers reach their terminal capacity.
+	for f := 0; f < 32000; f++ {
+		sys.BeginFrame()
+		sys.EndFrame(sys.FrameDuration())
+	}
+	avg := testing.AllocsPerRun(300, func() {
+		sys.BeginFrame()
+		sys.EndFrame(sys.FrameDuration())
+	})
+	if avg != 0 {
+		t.Fatalf("idle-wake hot path allocates %.3f allocs/frame, want 0", avg)
+	}
+	if err := sys.VerifyRegistry(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,11 +22,29 @@ import (
 //     word reads instead of O(n) predicate evaluations.
 //
 // Stations with no MAC work at all (silent voice source, drained data
-// queue) park in the idle bucket with an entry in a wake queue keyed by
-// their source's next event time; BeginFrame pops only the stations whose
-// talkspurt or burst actually starts this frame. Combined with the lazy
-// per-station fading replay in mac.go this makes per-frame cost scale with
-// the active population, not the cell size.
+// queue) park in the idle bucket with an entry in the hierarchical timer
+// wheel (wheel.go) keyed by their source's next event time; BeginFrame
+// collects only the stations whose talkspurt or burst actually starts this
+// frame. Combined with the lazy per-station fading replay in mac.go this
+// makes per-frame cost scale with the active population, not the cell size.
+//
+// Hot per-station state lives in structure-of-arrays slabs here rather
+// than on Station (see the Station comment in mac.go for the layout): the
+// stamp slab holds the wake time of an idle station or the reservation due
+// time of an admitted one, the chSync slab counts replayed fading steps,
+// and the wheel's loc/pos slabs track the live timer entry. An idle
+// station therefore costs a few slab rows and one wheel bucket int32 —
+// tens of bytes — instead of a fat struct plus heap entries.
+//
+// Wake processing order. The old binary-heap queue popped due wakes in
+// (time, slot) order; the wheel yields them in bucket-scan order instead.
+// The results are byte-identical because waking is order-insensitive:
+// advanceTraffic draws only from the woken station's private traffic
+// streams (never the shared MAC stream), metric updates are commutative
+// counter adds, and re-bucketing toggles per-station bitset bits. Every
+// later scan that feeds the MAC stream (contention, reservation service)
+// walks the bitsets in slot order, which is independent of the order the
+// bits were set. The golden suite pins this end to end.
 
 // bucketKind labels the registry buckets. Classification is by priority:
 // a station matching several predicates lives in the first matching bucket,
@@ -93,32 +111,78 @@ func (b bitset) set(i int)      { b[i>>6] |= 1 << (uint(i) & 63) }
 func (b bitset) clear(i int)    { b[i>>6] &^= 1 << (uint(i) & 63) }
 func (b bitset) has(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-// registry holds the bucket bitsets, the idle wake queue, and the reusable
-// scan scratch of one System.
+// registry holds the bucket bitsets, the timer wheel, the per-station
+// slabs, and the reusable scan scratch of one System.
 type registry struct {
 	sets [numBuckets]bitset
-	wake wakeQueue
+	// counts tracks each bucket's population so scans skip empty buckets
+	// without reading their bitset words: an all-idle 10⁶-station cell
+	// pays O(1) per frame for the active-bucket sweep, not O(n/64).
+	counts [numBuckets]int
+	wheel  timerWheel
+
+	// stamp is the per-station time slab, a union keyed by bucket: the
+	// wake (next source event) time while the station is idle, the
+	// reservation due time while it holds one. The two uses never overlap
+	// — an idle station by definition holds no reservation — and the
+	// wheel tracks its entries by location, never by stamp, so an
+	// admitted station overwriting its old wake time is harmless.
+	stamp []sim.Time
+	// chSync counts the per-frame fading steps already applied per
+	// station; the gap to the owner's frame index is replayed lazily when
+	// the channel is next observed (see syncChannel). int32 spans 2^31
+	// standard frames ≈ 62 simulated days.
+	chSync []int32
 
 	frameScratch []*Station // BeginFrame snapshot of the active buckets
 	dueScratch   []*Station // VoiceReservationsDue collection
+	wakeScratch  []int32    // wakeDue's collected due slots
 }
 
 func (r *registry) init(n int) {
 	for b := range r.sets {
 		r.sets[b] = newBitset(n)
 	}
+	r.stamp = make([]sim.Time, n)
+	r.chSync = make([]int32, n)
+	r.wheel.init(n, r.stamp)
+}
+
+// place inserts a station slot into a bucket (registration time; the slot
+// must not already be in any bucket).
+func (r *registry) place(i int, b bucketKind) {
+	r.sets[b].set(i)
+	r.counts[b]++
+}
+
+// move transfers a slot between buckets.
+func (r *registry) move(i int, from, to bucketKind) {
+	r.sets[from].clear(i)
+	r.counts[from]--
+	r.sets[to].set(i)
+	r.counts[to]++
+}
+
+// owns reports whether st is registered with this system: its slot must
+// index this system's station table and resolve back to the same object
+// (a clone registered with another cell fails the identity check).
+func (s *System) owns(st *Station) bool {
+	i := int(st.slot)
+	return i >= 0 && i < len(s.Stations) && s.Stations[i] == st
 }
 
 // classify computes the bucket a station belongs in from its live state.
+// A deferred (not yet materialized) station has no sources and classifies
+// idle, which is exactly its semantics: nothing to do until its first wake.
 func classify(st *Station) bucketKind {
 	switch {
-	case st.PendingAtBS:
+	case st.flags&flagPendingAtBS != 0:
 		return bucketPending
-	case st.Reserved:
+	case st.flags&flagReserved != 0:
 		return bucketReserved
-	case st.Voice != nil && (st.Voice.Talking() || st.Voice.Buffered() > 0):
+	case st.src != nil && st.src.voice != nil && (st.src.voice.Talking() || st.src.voice.Buffered() > 0):
 		return bucketTalkspurt
-	case st.Data != nil && st.Data.Backlog() > 0:
+	case st.src != nil && st.src.data != nil && st.src.data.Backlog() > 0:
 		return bucketBacklogged
 	default:
 		return bucketIdle
@@ -126,14 +190,22 @@ func classify(st *Station) bucketKind {
 }
 
 // nextWake returns the station's next source event time, or -1 when the
-// station has no sources (an inert multicell clone never wakes).
-func nextWake(st *Station) sim.Time {
-	at := sim.Time(-1)
-	if st.Voice != nil {
-		at = st.Voice.NextEventAt()
+// station has no sources (an inert multicell clone never wakes). A deferred
+// station's first wake was computed at build time and parked in the stamp
+// slab.
+func (s *System) nextWake(st *Station) sim.Time {
+	if st.flags&flagDeferred != 0 {
+		return s.reg.stamp[st.slot]
 	}
-	if st.Data != nil {
-		if na := st.Data.NextArrivalAt(); at < 0 || na < at {
+	if st.src == nil {
+		return -1
+	}
+	at := sim.Time(-1)
+	if v := st.src.voice; v != nil {
+		at = v.NextEventAt()
+	}
+	if d := st.src.data; d != nil {
+		if na := d.NextArrivalAt(); at < 0 || na < at {
 			at = na
 		}
 	}
@@ -142,55 +214,58 @@ func nextWake(st *Station) sim.Time {
 
 // Reindex re-buckets a station after a state change. Every System method
 // that mutates MAC-visible state calls it internally; external drivers
-// (the multicell attach/detach path, tests poking Station fields directly)
+// (the multicell attach/detach path, tests poking station state directly)
 // must call it themselves for the change to reach the scan paths this
 // frame — although any station in an active bucket self-heals at the next
 // BeginFrame, which reindexes everything it advances.
 func (s *System) Reindex(st *Station) {
-	if st.owner != s {
+	if !s.owns(st) {
 		return // foreign station (e.g. a clone registered with another cell)
 	}
 	b := classify(st)
-	if b != st.bucket {
-		s.reg.sets[st.bucket].clear(st.slot)
-		s.reg.sets[b].set(st.slot)
-		st.bucket = b
+	if old := st.bucket(); b != old {
+		s.reg.move(int(st.slot), old, b)
+		st.setBucket(b)
 	}
 	if b == bucketIdle {
 		s.armWake(st)
+	} else if s.reg.wheel.armed(st.slot) {
+		// Leaving idle invalidates the wake entry; drop it eagerly so the
+		// wheel never accumulates superseded entries and the stamp slab
+		// is free to carry the reservation due time.
+		s.reg.wheel.remove(st.slot)
 	}
 }
 
-// armWake (re-)queues an idle station's next source event.
+// armWake (re-)arms an idle station's next source event in the wheel.
 func (s *System) armWake(st *Station) {
-	at := nextWake(st)
+	at := s.nextWake(st)
 	if at < 0 {
+		s.reg.wheel.remove(st.slot)
 		return
 	}
-	if st.wakeQueued && st.wakeAt == at {
-		return // live queue entry already covers this event
+	if s.reg.wheel.armed(st.slot) && s.reg.stamp[st.slot] == at {
+		return // live entry already covers this event
 	}
-	st.wakeAt = at
-	st.wakeQueued = true
-	s.reg.wake.push(wakeEntry{at: at, slot: int32(st.slot)})
+	s.reg.stamp[st.slot] = at
+	s.reg.wheel.add(st.slot, at)
 }
 
-// wakeDue pops every idle station whose next source event is due, realizes
-// its traffic, and re-buckets it. Entries are invalidated lazily: a station
-// that left the idle bucket (or re-armed at a different time) since being
-// pushed is skipped.
+// wakeDue collects every idle station whose next source event is due and
+// realizes its traffic. The collection phase touches only the wheel's and
+// registry's int32/stamp slabs — k due wakes read k slab rows, no station
+// pointers — and the realization phase then materializes, advances and
+// re-buckets each collected station. Because every wheel entry is removed
+// eagerly when its station leaves the idle bucket, every collected slot is
+// live and due; no staleness filtering is needed.
 func (s *System) wakeDue() {
-	for {
-		e, ok := s.reg.wake.peek()
-		if !ok || e.at > s.now {
-			return
+	due := s.reg.wheel.collectDue(s.now, s.reg.wakeScratch[:0])
+	s.reg.wakeScratch = due[:0]
+	for _, slot := range due {
+		st := s.Stations[slot]
+		if st.flags&flagDeferred != 0 {
+			s.materialize(st)
 		}
-		s.reg.wake.pop()
-		st := s.Stations[e.slot]
-		if st.bucket != bucketIdle || !st.wakeQueued || st.wakeAt != e.at {
-			continue
-		}
-		st.wakeQueued = false
 		s.advanceTraffic(st)
 		s.Reindex(st)
 	}
@@ -200,13 +275,23 @@ func (s *System) wakeDue() {
 // order. fn must not re-bucket stations other than the one it was handed;
 // scans that mutate take a snapshot first.
 func (s *System) forEachIn(mask bucketMask, fn func(*Station)) {
-	sets := &s.reg.sets
-	for w := range sets[0] {
-		var word uint64
-		for b := bucketKind(0); b < numBuckets; b++ {
-			if mask&(1<<b) != 0 {
-				word |= sets[b][w]
-			}
+	// Gather only the non-empty bucket bitsets; when every selected bucket
+	// is empty (the all-idle cell) the sweep costs nothing at all.
+	var live [numBuckets]bitset
+	nl := 0
+	for b := bucketKind(0); b < numBuckets; b++ {
+		if mask&(1<<b) != 0 && s.reg.counts[b] > 0 {
+			live[nl] = s.reg.sets[b]
+			nl++
+		}
+	}
+	if nl == 0 {
+		return
+	}
+	for w := range live[0] {
+		word := live[0][w]
+		for k := 1; k < nl; k++ {
+			word |= live[k][w]
 		}
 		base := w << 6
 		for word != 0 {
@@ -256,90 +341,56 @@ func (s *System) ForEachReserved(fn func(*Station)) {
 }
 
 // VerifyRegistry checks the registry invariants: every station sits in
-// exactly one bucket, the bucket matches its recorded label, and — at a
-// frame boundary, when no external mutation is in flight — the label
-// matches the station's live state. Exposed for the invariant tests.
+// exactly one bucket, the bucket matches its recorded label, at a frame
+// boundary the label matches the station's live state, and the wheel holds
+// a live entry exactly for the idle stations that have one to arm. Exposed
+// for the invariant tests.
 func (s *System) VerifyRegistry() error {
+	entries := 0
 	for _, st := range s.Stations {
 		n := 0
 		for b := bucketKind(0); b < numBuckets; b++ {
-			if s.reg.sets[b].has(st.slot) {
+			if s.reg.sets[b].has(int(st.slot)) {
 				n++
-				if b != st.bucket {
-					return fmt.Errorf("mac: station %d in bucket %v but labeled %v", st.ID, b, st.bucket)
+				if b != st.bucket() {
+					return fmt.Errorf("mac: station %d in bucket %v but labeled %v", st.ID, b, st.bucket())
 				}
 			}
 		}
 		if n != 1 {
 			return fmt.Errorf("mac: station %d in %d buckets, want exactly 1", st.ID, n)
 		}
-		if want := classify(st); want != st.bucket {
-			return fmt.Errorf("mac: station %d stale: bucket %v, state says %v", st.ID, st.bucket, want)
+		if want := classify(st); want != st.bucket() {
+			return fmt.Errorf("mac: station %d stale: bucket %v, state says %v", st.ID, st.bucket(), want)
+		}
+		armed := s.reg.wheel.armed(st.slot)
+		if st.bucket() != bucketIdle && armed {
+			return fmt.Errorf("mac: station %d holds a wheel entry outside the idle bucket", st.ID)
+		}
+		if st.bucket() == bucketIdle && s.nextWake(st) >= 0 && !armed {
+			return fmt.Errorf("mac: idle station %d has a wake due but no wheel entry", st.ID)
+		}
+		if armed {
+			entries++
+			l := s.reg.wheel.loc[st.slot]
+			b := s.reg.wheel.buckets[l>>wheelBits][l&(wheelSlots-1)]
+			p := s.reg.wheel.pos[st.slot]
+			if int(p) >= len(b) || b[p] != st.slot {
+				return fmt.Errorf("mac: station %d wheel loc/pos do not resolve to its entry", st.ID)
+			}
+		}
+	}
+	if entries != s.reg.wheel.count {
+		return fmt.Errorf("mac: wheel count %d but %d live entries", s.reg.wheel.count, entries)
+	}
+	for b := bucketKind(0); b < numBuckets; b++ {
+		n := 0
+		for _, w := range s.reg.sets[b] {
+			n += bits.OnesCount64(w)
+		}
+		if n != s.reg.counts[b] {
+			return fmt.Errorf("mac: bucket %v count %d but %d bits set", b, s.reg.counts[b], n)
 		}
 	}
 	return nil
-}
-
-// wakeEntry is one queued idle-station wake-up.
-type wakeEntry struct {
-	at   sim.Time
-	slot int32
-}
-
-// wakeQueue is a plain binary min-heap of wake entries ordered by time
-// (ties broken by slot for determinism). Entries are never removed in
-// place; staleness is detected at pop time against the station's current
-// wakeAt/wakeQueued fields.
-type wakeQueue struct {
-	h []wakeEntry
-}
-
-func (q *wakeQueue) less(a, b wakeEntry) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.slot < b.slot
-}
-
-func (q *wakeQueue) peek() (wakeEntry, bool) {
-	if len(q.h) == 0 {
-		return wakeEntry{}, false
-	}
-	return q.h[0], true
-}
-
-func (q *wakeQueue) push(e wakeEntry) {
-	q.h = append(q.h, e)
-	i := len(q.h) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if !q.less(q.h[i], q.h[p]) {
-			break
-		}
-		q.h[i], q.h[p] = q.h[p], q.h[i]
-		i = p
-	}
-}
-
-func (q *wakeQueue) pop() wakeEntry {
-	top := q.h[0]
-	last := len(q.h) - 1
-	q.h[0] = q.h[last]
-	q.h = q.h[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		m := i
-		if l < last && q.less(q.h[l], q.h[m]) {
-			m = l
-		}
-		if r < last && q.less(q.h[r], q.h[m]) {
-			m = r
-		}
-		if m == i {
-			return top
-		}
-		q.h[i], q.h[m] = q.h[m], q.h[i]
-		i = m
-	}
 }

@@ -56,11 +56,10 @@ func mostlyIdleSystem(tb testing.TB, n int, meanSilenceSec float64, protocol str
 	stations := make([]*mac.Station, n)
 	cp := channel.DefaultParams()
 	for i := range stations {
-		stations[i] = &mac.Station{
-			ID:     i,
-			Fading: channel.NewFading(cp, rng.Derive(7, "bench-chan", fmt.Sprint(i))),
-			Voice:  traffic.NewVoice(vp, rng.Derive(7, "bench-voice", fmt.Sprint(i)), 0),
-		}
+		stations[i] = mac.NewStation(i,
+			traffic.NewVoice(vp, rng.Derive(7, "bench-voice", fmt.Sprint(i)), 0),
+			nil,
+			channel.NewFading(cp, rng.Derive(7, "bench-chan", fmt.Sprint(i))))
 	}
 	var modem phy.PHY
 	if core.AdaptivePHYFor(protocol) {

@@ -12,22 +12,21 @@ import (
 
 func TestClassifyPriorityOrder(t *testing.T) {
 	v := traffic.NewVoice(traffic.DefaultVoiceParams(), rng.New(1), 0)
-	st := &Station{Voice: v}
+	st := NewStation(0, v, nil, nil)
 	// Highest priority first: pending beats reserved beats activity.
-	st.PendingAtBS = true
-	st.Reserved = true
+	st.flags |= flagPendingAtBS | flagReserved
 	if got := classify(st); got != bucketPending {
 		t.Fatalf("pending station classified %v", got)
 	}
-	st.PendingAtBS = false
+	st.flags &^= flagPendingAtBS
 	if got := classify(st); got != bucketReserved {
 		t.Fatalf("reserved station classified %v", got)
 	}
-	st.Reserved = false
+	st.flags &^= flagReserved
 	if got := classify(st); got != bucketTalkspurt && got != bucketIdle {
 		t.Fatalf("voice station classified %v", got)
 	}
-	inert := &Station{}
+	inert := NewStation(1, nil, nil, nil)
 	if got := classify(inert); got != bucketIdle {
 		t.Fatalf("inert station classified %v", got)
 	}
@@ -53,35 +52,20 @@ func TestBitsetOps(t *testing.T) {
 	}
 }
 
-func TestWakeQueueOrdering(t *testing.T) {
-	var q wakeQueue
-	for _, e := range []wakeEntry{{at: 30, slot: 2}, {at: 10, slot: 5}, {at: 10, slot: 1}, {at: 20, slot: 0}} {
-		q.push(e)
-	}
-	want := []wakeEntry{{at: 10, slot: 1}, {at: 10, slot: 5}, {at: 20, slot: 0}, {at: 30, slot: 2}}
-	for i, w := range want {
-		got := q.pop()
-		if got != w {
-			t.Fatalf("pop %d = %+v, want %+v", i, got, w)
-		}
-	}
-	if _, ok := q.peek(); ok {
-		t.Fatal("queue not empty after draining")
-	}
-}
-
 func registrySystem(t *testing.T, nv, nd int) *System {
 	t.Helper()
 	n := nv + nd
 	stations := make([]*Station, n)
 	for i := 0; i < n; i++ {
-		st := &Station{ID: i, Fading: channel.NewFading(channel.DefaultParams(), rng.Derive(3, "c", string(rune('a'+i))))}
+		var v *traffic.VoiceSource
+		var d *traffic.DataSource
 		if i < nv {
-			st.Voice = traffic.NewVoice(traffic.DefaultVoiceParams(), rng.Derive(3, "v", string(rune('a'+i))), 0)
+			v = traffic.NewVoice(traffic.DefaultVoiceParams(), rng.Derive(3, "v", string(rune('a'+i))), 0)
 		} else {
-			st.Data = traffic.NewData(traffic.DefaultDataParams(), rng.Derive(3, "d", string(rune('a'+i))), 0)
+			d = traffic.NewData(traffic.DefaultDataParams(), rng.Derive(3, "d", string(rune('a'+i))), 0)
 		}
-		stations[i] = st
+		fad := channel.NewFading(channel.DefaultParams(), rng.Derive(3, "c", string(rune('a'+i))))
+		stations[i] = NewStation(i, v, d, fad)
 	}
 	s, err := NewSystem(DefaultConfig(), phy.NewFixed(phy.DefaultParams()), stations, rng.Derive(3, "m"))
 	if err != nil {
@@ -96,8 +80,8 @@ func TestNewSystemIndexesStations(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, st := range s.Stations {
-		if st.owner != s || st.slot != i {
-			t.Fatalf("station %d: owner/slot not wired", i)
+		if !s.owns(st) || int(st.slot) != i {
+			t.Fatalf("station %d: slot not wired", i)
 		}
 	}
 }
@@ -105,17 +89,17 @@ func TestNewSystemIndexesStations(t *testing.T) {
 func TestReindexMovesBuckets(t *testing.T) {
 	s := registrySystem(t, 2, 0)
 	st := s.Stations[0]
-	st.Reserved = true
+	st.flags |= flagReserved
 	s.Reindex(st)
-	if st.bucket != bucketReserved || !s.reg.sets[bucketReserved].has(st.slot) {
+	if st.bucket() != bucketReserved || !s.reg.sets[bucketReserved].has(int(st.slot)) {
 		t.Fatal("reservation did not move the station to the reserved bucket")
 	}
 	if err := s.VerifyRegistry(); err != nil {
 		t.Fatal(err)
 	}
-	st.Reserved = false
+	st.flags &^= flagReserved
 	s.Reindex(st)
-	if s.reg.sets[bucketReserved].has(st.slot) {
+	if s.reg.sets[bucketReserved].has(int(st.slot)) {
 		t.Fatal("station left in reserved bucket after release")
 	}
 	if err := s.VerifyRegistry(); err != nil {
@@ -125,7 +109,7 @@ func TestReindexMovesBuckets(t *testing.T) {
 
 func TestReindexIgnoresForeignStations(t *testing.T) {
 	s := registrySystem(t, 1, 0)
-	foreign := &Station{ID: 99}
+	foreign := NewStation(99, nil, nil, nil)
 	s.Reindex(foreign) // must not panic or disturb the registry
 	if err := s.VerifyRegistry(); err != nil {
 		t.Fatal(err)
@@ -135,25 +119,25 @@ func TestReindexIgnoresForeignStations(t *testing.T) {
 func TestIdleStationsWakeOnSourceEvents(t *testing.T) {
 	s := registrySystem(t, 40, 10)
 	// Drive two simulated seconds: stations must migrate between idle and
-	// active buckets as talkspurts and bursts come and go, with the wake
-	// queue (not a full scan) reactivating them.
+	// active buckets as talkspurts and bursts come and go, with the timer
+	// wheel (not a full scan) reactivating them.
 	sawIdle, sawActive := false, false
 	for f := 0; f < 800; f++ {
 		s.BeginFrame()
 		for _, st := range s.Stations {
-			if st.bucket == bucketIdle {
+			if st.bucket() == bucketIdle {
 				sawIdle = true
 			} else {
 				sawActive = true
 			}
 			// Consume everything so stations drain back to idle.
-			if st.Voice != nil {
-				for st.Voice.Buffered() > 0 {
-					st.Voice.Pop()
+			if v := st.Voice(); v != nil {
+				for v.Buffered() > 0 {
+					v.Pop()
 				}
 			}
-			if st.Data != nil {
-				st.Data.TransmitAttempts(st.Data.Backlog(), s.Now(), func() bool { return true }, func(sim.Time) {})
+			if d := st.Data(); d != nil {
+				d.TransmitAttempts(d.Backlog(), s.Now(), func() bool { return true }, func(sim.Time) {})
 			}
 			s.Reindex(st)
 		}
@@ -178,8 +162,8 @@ func TestLazyChannelReplayMatchesEager(t *testing.T) {
 	eager := channel.NewFading(p, rng.Derive(9, "f"))
 	s := registrySystem(t, 1, 0)
 	st := s.Stations[0]
-	st.Fading = channel.NewFading(p, rng.Derive(9, "f"))
-	st.chSynced = 0
+	st.fad = channel.NewFading(p, rng.Derive(9, "f"))
+	s.reg.chSync[st.slot] = 0
 
 	const k = 57
 	for i := 0; i < k; i++ {
@@ -187,7 +171,7 @@ func TestLazyChannelReplayMatchesEager(t *testing.T) {
 		s.EndFrame(s.FrameDuration())
 	}
 	s.syncChannel(st)
-	if got, want := st.Fading.Amplitude(), eager.Amplitude(); got != want {
+	if got, want := st.fad.Amplitude(), eager.Amplitude(); got != want {
 		t.Fatalf("lazy replay amplitude %v, eager %v", got, want)
 	}
 }

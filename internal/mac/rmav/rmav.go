@@ -79,7 +79,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			return
 		}
 		assigned++
-		if st.Voice.Buffered() > 0 {
+		if st.Voice().Buffered() > 0 {
 			s.TransmitVoice(st, mode, 1)
 			used += g.InfoSlotSymbols
 		}
@@ -90,7 +90,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	if st := p.dataGrant; st != nil {
 		p.dataGrant = nil
 		s.SetPendingAtBS(st, false)
-		n := st.Data.Backlog()
+		n := st.Data().Backlog()
 		if n > g.RMAVMaxGrantSlots {
 			n = g.RMAVMaxGrantSlots
 		}
@@ -105,7 +105,7 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 	p.cands = p.cands[:0]
 	s.ForEachCandidate(func(st *mac.Station) {
 		if p.voiceSlot[st.ID] {
-			if st.Reserved {
+			if st.Reserved() {
 				return
 			}
 			// Talkspurt ended earlier: release the stale slot and let
@@ -119,11 +119,8 @@ func (p *Protocol) RunFrame(s *mac.System) sim.Time {
 			p.voiceSlot[w.ID] = true
 			// Mark the MAC-level reservation so talkspurt-end release
 			// and metrics work uniformly; the slot itself recurs every
-			// frame rather than every 20 ms.
-			w.Reserved = true
-			w.NextVoiceDue = s.Now()
-			s.M.ReservationsGranted.Inc()
-			s.Reindex(w)
+			// frame rather than every 20 ms, hence due = now.
+			s.GrantReservationAt(w, s.Now())
 		} else {
 			p.dataGrant = w
 			// The station must not re-contend while its grant is

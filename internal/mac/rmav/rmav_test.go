@@ -100,7 +100,7 @@ func TestVoiceSlotPersistsAcrossFrames(t *testing.T) {
 		sys.EndFrame(dur)
 		anyReserved := false
 		for _, st := range sys.Stations {
-			if st.Reserved {
+			if st.Reserved() {
 				anyReserved = true
 			}
 		}

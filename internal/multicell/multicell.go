@@ -181,7 +181,7 @@ func New(p Params) (*Deployment, error) {
 		bestCell, bestDB := 0, -1e18
 		for c := 0; c < p.Cells; c++ {
 			fad := banks[c].User(k)
-			st := &mac.Station{ID: k, Fading: fad}
+			st := mac.NewStation(k, nil, nil, fad)
 			u.clones[c] = st
 			cellStations[c] = append(cellStations[c], st)
 			if db := fad.LongTermDB(); db > bestDB {
@@ -221,18 +221,14 @@ func New(p Params) (*Deployment, error) {
 // attach points cell c's clone at the user's live traffic sources.
 func (d *Deployment) attach(u *user, c int) {
 	st := u.clones[c]
-	st.Voice = u.voice
-	st.Data = u.data
+	st.SetTraffic(u.voice, u.data)
 	u.cell = c
 }
 
 // detach makes a clone inert and clears its MAC state in its cell.
 func (d *Deployment) detach(u *user, c int, sys *mac.System) {
 	st := u.clones[c]
-	st.Voice = nil
-	st.Data = nil
-	st.Reserved = false
-	st.PendingAtBS = false
+	st.SetTraffic(nil, nil)
 	if sys != nil {
 		// Purge any queued request referencing the departing station.
 		for i := 0; i < sys.QueueLen(); {
@@ -242,7 +238,8 @@ func (d *Deployment) detach(u *user, c int, sys *mac.System) {
 			}
 			i++
 		}
-		sys.Reindex(st)
+		sys.SetPendingAtBS(st, false)
+		sys.CancelReservation(st)
 	}
 }
 
@@ -260,7 +257,7 @@ func (d *Deployment) decide() {
 	for _, u := range d.users {
 		for c, st := range u.clones {
 			d.systems[c].SyncChannel(st)
-			dbs[c] = st.Fading.LongTermDB()
+			dbs[c] = st.Fading().LongTermDB()
 		}
 		curDB := dbs[u.cell]
 		best, bestDB := u.cell, curDB

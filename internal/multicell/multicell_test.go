@@ -138,7 +138,7 @@ func TestExactlyOneLiveCloneInvariant(t *testing.T) {
 		for k, u := range d.users {
 			live := 0
 			for _, st := range u.clones {
-				if st.Voice != nil || st.Data != nil {
+				if st.Voice() != nil || st.Data() != nil {
 					live++
 				}
 			}

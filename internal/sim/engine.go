@@ -230,27 +230,48 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	idx := e.removeAt(0)
+	idx := e.heap[0]
+	if nd := &e.nodes[idx]; nd.every != nil {
+		// Fast path: a recurring event at the root — the common case when
+		// a single frame driver ticks a long run — fires in place. The
+		// pop/re-push pair (two full sifts per frame) collapses to one
+		// in-place key update and downward sift, which is O(1) when the
+		// driver is the only due event.
+		at := nd.at
+		if at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = at
+		e.executed++
+		gen := nd.gen
+		delay := nd.every(e)
+		// The callback may have grown the arena; re-resolve the slot. The
+		// root cannot have been displaced meanwhile: events pushed by the
+		// callback are not earlier than (at, seq) of the root, and a
+		// removal's sift-up stops at the heap minimum — so only the
+		// recurrence cancelling itself (gen bump) invalidates the slot.
+		nd = &e.nodes[idx]
+		if nd.gen != gen {
+			return true
+		}
+		if delay < 0 {
+			e.removeAt(nd.pos)
+			e.release(idx)
+			return true
+		}
+		nd.at = e.now + delay
+		nd.seq = e.seq
+		e.seq++
+		e.siftDown(int(nd.pos))
+		return true
+	}
+	idx = e.removeAt(0)
 	at := e.nodes[idx].at
 	if at < e.now {
 		panic("sim: event queue time went backwards")
 	}
 	e.now = at
 	e.executed++
-	if every := e.nodes[idx].every; every != nil {
-		delay := every(e)
-		// The callback may have grown the arena; re-resolve the slot.
-		if delay >= 0 {
-			nd := &e.nodes[idx]
-			nd.at = e.now + delay
-			nd.seq = e.seq
-			e.seq++
-			e.push(idx)
-		} else {
-			e.release(idx)
-		}
-		return true
-	}
 	h := e.nodes[idx].handler
 	e.release(idx)
 	h(e)

@@ -1,0 +1,31 @@
+package traffic
+
+import (
+	"charisma/internal/rng"
+	"charisma/internal/sim"
+)
+
+// Birth probes: compute a would-be source's first event time without
+// constructing the source. They must consume the stream exactly as the
+// corresponding constructor's first-event computation would — each probe is
+// pinned against its constructor by TestProbesMatchConstructors — so a lazy
+// population can arm a deferred station's first wake from a throwaway
+// probe stream and later materialize the real source from a fresh stream
+// with the same seed, reproducing the eager build byte for byte.
+
+// ProbeVoiceBirth returns NewVoice(p, stream, now).NextEventAt() without
+// building the source. A source born talking emits its first packet at now
+// (NewVoice sets nextPkt = now); one born silent sleeps until the silence
+// period ends.
+func ProbeVoiceBirth(p VoiceParams, stream *rng.Stream, now sim.Time) sim.Time {
+	if stream.Bernoulli(p.ActivityFactor()) {
+		return now
+	}
+	return now + sim.FromSeconds(stream.Exp(p.MeanSilenceSec))
+}
+
+// ProbeDataBirth returns NewData(p, stream, now).NextArrivalAt() without
+// building the source.
+func ProbeDataBirth(p DataParams, stream *rng.Stream, now sim.Time) sim.Time {
+	return now + sim.FromSeconds(stream.Exp(p.MeanInterarrivalSec))
+}

@@ -360,3 +360,26 @@ func TestDataDelayNonNegative(t *testing.T) {
 		})
 	}
 }
+
+// TestProbesMatchConstructors pins the birth probes to the constructors
+// they shadow: probing a stream must land on exactly the first event time
+// (and stream position) that building the source would have produced, for
+// both the talking and silent voice branches. The lazy population arms
+// deferred stations from these probes, so any drift here would break the
+// byte-identity of lazy versus eager builds.
+func TestProbesMatchConstructors(t *testing.T) {
+	vp := DefaultVoiceParams()
+	dp := DefaultDataParams()
+	for seed := int64(0); seed < 200; seed++ {
+		for _, now := range []sim.Time{0, 123456} {
+			if got, want := ProbeVoiceBirth(vp, rng.Derive(seed, "p"), now),
+				NewVoice(vp, rng.Derive(seed, "p"), now).NextEventAt(); got != want {
+				t.Fatalf("seed %d now %d: voice probe %d, constructor %d", seed, now, got, want)
+			}
+			if got, want := ProbeDataBirth(dp, rng.Derive(seed, "p"), now),
+				NewData(dp, rng.Derive(seed, "p"), now).NextArrivalAt(); got != want {
+				t.Fatalf("seed %d now %d: data probe %d, constructor %d", seed, now, got, want)
+			}
+		}
+	}
+}
