@@ -385,6 +385,34 @@ func BenchmarkEngineScheduleEvery(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineStepBatch measures the equal-timestamp cohort dispatch
+// in its mass-cohort regime: 256 one-shot events packed onto 2 distinct
+// timestamps, so every StepBatch drains a cohort dominating the heap
+// through the detach-and-reheapify path. Steady state must be
+// allocation-free — the batch and seq-sort scratch live on the engine.
+func BenchmarkEngineStepBatch(b *testing.B) {
+	e := sim.NewEngine()
+	h := func(*sim.Engine) {}
+	fill := func() {
+		for j := 0; j < 256; j++ {
+			e.Schedule(e.Now()+sim.Time(1+j%2), h)
+		}
+	}
+	drain := func() {
+		for e.Pending() > 0 {
+			e.StepBatch()
+		}
+	}
+	fill()
+	drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fill()
+		drain()
+	}
+}
+
 // BenchmarkScenarioRun tracks the end-to-end allocation footprint of a
 // complete (short) scenario run — the unit the replication runner fans
 // out by the thousand.

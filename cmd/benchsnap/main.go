@@ -12,6 +12,17 @@
 // median the typical run), the maximum allocs/op (the conservative value
 // the allocation guard checks), and the last value of every custom
 // b.ReportMetric column.
+//
+// Snapshot comparison (the CI perf-regression gate):
+//
+//	benchsnap -snap BENCH_7.json -compare BENCH_6.json
+//	go test -bench . -benchmem | benchsnap -compare BENCH_6.json
+//
+// compares the new snapshot (from -snap or raw input) against the old
+// one, printing a per-benchmark delta table, and exits non-zero when any
+// common benchmark's min ns/op regresses by more than -compare-tolerance
+// (default 0.15 = 15%) or its allocs/op ceiling grows by more than the
+// same factor (any growth from zero fails).
 package main
 
 import (
@@ -97,8 +108,35 @@ func main() {
 			"regex of benchmark names (without the Benchmark prefix) that must report 0 allocs/op; violations exit 1")
 		assertMax = flag.String("assert-max-metric", "",
 			"ceiling on a custom metric, as <name-regex>:<metric>:<max> (e.g. 'IdleCellPopulation/n=100000:B/station:64'); violations exit 1")
+		snapIn  = flag.String("snap", "", "load an existing snapshot JSON as the new side instead of parsing raw bench output")
+		compare = flag.String("compare", "", "old snapshot JSON to diff the new snapshot against; regressions exit 1")
+		cmpRe   = flag.String("compare-names", "",
+			"regex restricting which benchmarks -compare checks (default: every benchmark present in both snapshots)")
+		cmpTol = flag.Float64("compare-tolerance", 0.15,
+			"fractional regression allowed by -compare on min ns/op and allocs/op")
 	)
 	flag.Parse()
+
+	if *snapIn != "" {
+		if *assertRe != "" || *assertMax != "" {
+			fmt.Fprintln(os.Stderr, "benchsnap: -assert-* need raw bench input, not -snap (asserts check per-sample values)")
+			os.Exit(1)
+		}
+		snap, err := readSnapshot(*snapIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		if *compare == "" {
+			fmt.Fprintln(os.Stderr, "benchsnap: -snap without -compare has nothing to do")
+			os.Exit(1)
+		}
+		if err := compareSnapshots(snap, *compare, *cmpRe, *cmpTol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	r := os.Stdin
 	if *in != "" {
@@ -255,6 +293,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchsnap: %d benchmarks within the %s ceiling of %g\n", matched, metric, ceil)
 	}
 
+	if *compare != "" {
+		if err := compareSnapshots(snap, *compare, *cmpRe, *cmpTol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsnap:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *out != "" && *out != "/dev/null" {
 		blob, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
@@ -267,4 +312,80 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
 	}
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(blob, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return Snapshot{}, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return s, nil
+}
+
+// compareSnapshots diffs the new snapshot against the old one at oldPath.
+// A benchmark regresses when its min ns/op exceeds the old min by more
+// than the tolerance fraction, or its allocs/op ceiling grows by more
+// than the same fraction (any growth from a zero baseline fails).
+// Benchmarks present on only one side are reported but never fail —
+// bench families evolve — but at least one benchmark must match on both
+// sides, so comparing disjoint snapshots cannot silently pass.
+func compareSnapshots(newSnap Snapshot, oldPath, nameRe string, tol float64) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if nameRe != "" {
+		if re, err = regexp.Compile(nameRe); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(newSnap.Benchmarks))
+	for name := range newSnap.Benchmarks {
+		if re == nil || re.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	matched, failed := 0, 0
+	for _, name := range names {
+		nw := newSnap.Benchmarks[name]
+		old, ok := oldSnap.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchsnap: %-44s new benchmark (no baseline)\n", name)
+			continue
+		}
+		matched++
+		ratio := 0.0
+		if old.NsPerOpMin > 0 {
+			ratio = nw.NsPerOpMin / old.NsPerOpMin
+		}
+		verdict := "ok"
+		if old.NsPerOpMin > 0 && nw.NsPerOpMin > old.NsPerOpMin*(1+tol) {
+			verdict = "REGRESSION"
+			failed++
+		}
+		if nw.AllocsPerOp > old.AllocsPerOp+int64(float64(old.AllocsPerOp)*tol) {
+			verdict = "REGRESSION(allocs)"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchsnap: %-44s min %14.0f -> %14.0f ns/op (x%.2f)  allocs %7d -> %7d  %s\n",
+			name, old.NsPerOpMin, nw.NsPerOpMin, ratio, old.AllocsPerOp, nw.AllocsPerOp, verdict)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark present in both snapshots (old %s)", oldPath)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed beyond %.0f%% vs %s", failed, matched, tol*100, oldPath)
+	}
+	fmt.Fprintf(os.Stderr, "benchsnap: %d benchmarks within %.0f%% of %s\n", matched, tol*100, oldPath)
+	return nil
 }

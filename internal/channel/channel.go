@@ -184,6 +184,56 @@ func noisy(amp, noiseStd float64, observer *rng.Stream, now sim.Time) Estimate {
 	return Estimate{Amp: amp, At: now}
 }
 
+// slabChunk is the per-plane capacity of a Slab: big enough that a
+// typical cell fits in one or two chunks, small enough that a mostly-idle
+// slab wastes little.
+const slabChunk = 64
+
+// Slab hands out standalone per-user fading processes backed by chunked
+// shared planes, so materializing a station costs one initUser over
+// pre-allocated slab rows instead of the ~18 slice allocations of a
+// private single-user plane. Reset rewinds the slab for the next
+// replication: every chunk's rows are handed out again from the start,
+// re-seeded by New with that user's own stream (initUser overwrites all
+// live state and invalidates every per-step memo), so a reused row is
+// indistinguishable from a fresh one. Interned coefficient classes
+// survive a Reset deliberately — they are keyed by Params equality and
+// their memoized step coefficients are pure functions of (Params, dt).
+//
+// Slab planes are never bank-advanced; each view advances individually
+// (the MAC's lazy per-station replay), exactly like a NewFading process.
+type Slab struct {
+	planes []*plane
+	cur    int // chunk currently being filled
+	used   int // rows handed out of the current chunk
+}
+
+// NewSlab returns an empty slab.
+func NewSlab() *Slab { return &Slab{} }
+
+// New hands out the next fading process, initialized at its stationary
+// distribution with exactly the draws NewFading makes (same stream, same
+// order — byte-identity contract). The returned pointer is stable for
+// the life of the slab; after a Reset the same rows are re-issued to the
+// next replication's users in materialization order.
+func (s *Slab) New(p Params, stream *rng.Stream) *Fading {
+	if s.cur == len(s.planes) {
+		s.planes = append(s.planes, newPlane(slabChunk))
+	}
+	pl := s.planes[s.cur]
+	i := s.used
+	pl.initUser(i, p, stream)
+	s.used++
+	if s.used == slabChunk {
+		s.cur++
+		s.used = 0
+	}
+	return &pl.views[i]
+}
+
+// Reset rewinds the slab so every row can be handed out again.
+func (s *Slab) Reset() { s.cur, s.used = 0, 0 }
+
 // Bank is the collection of independent per-user fading processes for a
 // cell, backed by one shared fading plane.
 type Bank struct {

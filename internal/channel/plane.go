@@ -32,31 +32,44 @@ import (
 	"charisma/internal/sim"
 )
 
-// coeffClass holds the AR(1) step coefficients shared by every user with
-// the same Params. The memo slot caches the most recent step size; mixed
-// step sizes (RMAV's variable frames interleaved with the standard replay)
-// just re-derive, exactly like the per-object memo they replace.
-type coeffClass struct {
-	p         Params
-	coherence float64 // p.CoherenceTime(), hoisted
-
-	memoDt sim.Time
+// coeffMemo is one cached set of AR(1) step coefficients for a step size.
+type coeffMemo struct {
+	dt     sim.Time
 	rhoS   float64 // short-term AR(1) coefficient
 	innovS float64 // √(1−ρs²)
 	rhoL   float64 // long-term (shadowing) AR(1) coefficient
 	innovL float64 // √(1−ρl²)·σl
 }
 
+// coeffClass holds the AR(1) step coefficients shared by every user with
+// the same Params. Two MRU-ordered memo slots cache the most recent step
+// sizes: RMAV alternates between its variable frame duration and the
+// standard-frame replay step every frame, which thrashed the old
+// single-slot memo into re-deriving both Exp/Sqrt pairs each time.
+type coeffClass struct {
+	p         Params
+	coherence float64 // p.CoherenceTime(), hoisted
+	memo      [2]coeffMemo
+}
+
 func (c *coeffClass) coeffs(dt sim.Time) (rhoS, innovS, rhoL, innovL float64) {
-	if dt != c.memoDt {
-		sec := dt.Seconds()
-		c.rhoS = mathx.ExpCorrelation(c.coherence, sec)
-		c.innovS = math.Sqrt(1 - c.rhoS*c.rhoS)
-		c.rhoL = mathx.ExpCorrelation(c.p.ShadowCoherenceSec, sec)
-		c.innovL = math.Sqrt(1-c.rhoL*c.rhoL) * c.p.ShadowSigmaDB
-		c.memoDt = dt
+	if m := &c.memo[0]; m.dt == dt {
+		return m.rhoS, m.innovS, m.rhoL, m.innovL
 	}
-	return c.rhoS, c.innovS, c.rhoL, c.innovL
+	if c.memo[1].dt == dt {
+		c.memo[0], c.memo[1] = c.memo[1], c.memo[0]
+		m := &c.memo[0]
+		return m.rhoS, m.innovS, m.rhoL, m.innovL
+	}
+	sec := dt.Seconds()
+	m := coeffMemo{dt: dt}
+	m.rhoS = mathx.ExpCorrelation(c.coherence, sec)
+	m.innovS = math.Sqrt(1 - m.rhoS*m.rhoS)
+	m.rhoL = mathx.ExpCorrelation(c.p.ShadowCoherenceSec, sec)
+	m.innovL = math.Sqrt(1-m.rhoL*m.rhoL) * c.p.ShadowSigmaDB
+	c.memo[1] = c.memo[0]
+	c.memo[0] = m
+	return m.rhoS, m.innovS, m.rhoL, m.innovL
 }
 
 // plane is the structure-of-arrays state for a bank of independent fading
@@ -117,7 +130,7 @@ func (pl *plane) classIndex(p Params) int32 {
 			return int32(i)
 		}
 	}
-	pl.classes = append(pl.classes, coeffClass{p: p, coherence: p.CoherenceTime(), memoDt: -1})
+	pl.classes = append(pl.classes, coeffClass{p: p, coherence: p.CoherenceTime(), memo: [2]coeffMemo{{dt: -1}, {dt: -1}}})
 	return int32(len(pl.classes) - 1)
 }
 

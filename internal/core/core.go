@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"slices"
 	"strings"
 	"sync"
 
@@ -63,6 +64,19 @@ func NewProtocol(name string) (mac.Protocol, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown protocol %q", name)
 	}
+}
+
+// KnownProtocol reports whether name (or one of its accepted aliases)
+// names an implemented protocol. It is the allocation-free validation
+// twin of NewProtocol.
+func KnownProtocol(name string) bool {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case ProtoCharisma, ProtoRAMA, ProtoRMAV, ProtoDRMA,
+		ProtoDTDMAFR, "dtdma/fr", "d-tdma-fr",
+		ProtoDTDMAVR, "dtdma/vr", "d-tdma-vr":
+		return true
+	}
+	return false
 }
 
 // AdaptivePHYFor reports whether a protocol runs on the channel-adaptive
@@ -148,8 +162,8 @@ func (sc Scenario) Validate() error {
 	if sc.NumVoice+sc.NumData == 0 {
 		return fmt.Errorf("core: no stations")
 	}
-	if _, err := NewProtocol(sc.Protocol); err != nil {
-		return err
+	if !KnownProtocol(sc.Protocol) {
+		return fmt.Errorf("core: unknown protocol %q", sc.Protocol)
 	}
 	if err := sc.Channel.Validate(); err != nil {
 		return err
@@ -166,81 +180,246 @@ func (sc Scenario) Validate() error {
 	return nil
 }
 
+// runArena owns every allocation a scenario run can recycle across
+// replications: the lazy system (station/registry/request slabs), the
+// discrete-event engine, the channel slab, per-slot RNG streams and
+// traffic sources, the PHY modem, and one protocol instance per name.
+// Scenario.Run borrows an arena from a sync.Pool, rebuilds the cell into
+// it, and returns it — so a parameter sweep's rep N+1 reuses rep N's
+// memory with near-zero fresh allocations. Reuse is byte-identity-safe
+// because every component re-initializes completely: mac.ResetLazy,
+// sim.Engine.Reset, channel.Slab.Reset + initUser, Stream.Reseed (pinned
+// equal to a fresh New by TestReseedMatchesNew), and the traffic Reset
+// constructors reproduce the fresh draw sequences exactly.
+type runArena struct {
+	probe     *rng.Stream
+	macStream *rng.Stream
+	firstWake []sim.Time
+	pop       mac.LazyPopulation
+	sys       *mac.System
+	eng       *sim.Engine
+	slab      *channel.Slab
+	protos    map[string]mac.Protocol
+
+	// Per-slot cached streams and source objects (index = station slot).
+	// A stream is re-seeded at materialization time, so only stations
+	// that actually wake in a replication pay for it.
+	chStreams []*rng.Stream
+	vStreams  []*rng.Stream
+	dStreams  []*rng.Stream
+	vSrcs     []*traffic.VoiceSource
+	dSrcs     []*traffic.DataSource
+
+	// Cached modem plus the inputs it was built from. modemParams holds
+	// defensive clones of the slice fields so a caller mutating its own
+	// phy.Params in place between runs is detected as a change.
+	modem         phy.PHY
+	modemAdaptive bool
+	modemParams   phy.Params
+
+	// Materialization inputs, rebound by buildIn for each replication.
+	seed     int64
+	numVoice int
+	chp      channel.Params
+	speeds   []float64
+	vp       traffic.VoiceParams
+	dp       traffic.DataParams
+}
+
+func newRunArena() *runArena {
+	a := &runArena{
+		probe:  rng.New(0),
+		slab:   channel.NewSlab(),
+		protos: make(map[string]mac.Protocol),
+	}
+	a.pop.Materialize = a.materialize
+	return a
+}
+
+var arenaPool = sync.Pool{New: func() any { return newRunArena() }}
+
+// stream returns the cached per-slot stream, re-seeded exactly as
+// rng.DeriveIndexed(a.seed, label, i) would seed a fresh one.
+func (a *runArena) stream(pool []*rng.Stream, label string, i int) *rng.Stream {
+	s := pool[i]
+	if s == nil {
+		s = rng.New(0)
+		pool[i] = s
+	}
+	s.Reseed(rng.SeedForIndexed(a.seed, label, i))
+	return s
+}
+
+// materialize is the arena's mac.LazyPopulation hook: identical draws to
+// the fresh-build path (stream seeded from (seed, label, i), then the
+// source/fading constructor draws), but into recycled objects.
+func (a *runArena) materialize(i int) (*traffic.VoiceSource, *traffic.DataSource, *channel.Fading) {
+	p := a.chp
+	if len(a.speeds) > 0 {
+		// Mirror channel.NewBankWithSpeeds: per-station speed, Doppler
+		// re-derived from it.
+		p.SpeedKmh = a.speeds[i]
+		p.DopplerHz = 0
+	}
+	fad := a.slab.New(p, a.stream(a.chStreams, "chan", i))
+	if i < a.numVoice {
+		v := a.vSrcs[i]
+		if v == nil {
+			v = &traffic.VoiceSource{}
+			a.vSrcs[i] = v
+		}
+		v.Reset(a.vp, a.stream(a.vStreams, "voice", i), 0)
+		return v, nil, fad
+	}
+	d := a.dSrcs[i]
+	if d == nil {
+		d = &traffic.DataSource{}
+		a.dSrcs[i] = d
+	}
+	d.Reset(a.dp, a.stream(a.dStreams, "data", i), 0)
+	return nil, d, fad
+}
+
+// growStreams resizes a per-slot cache to n entries, keeping every
+// already-built stream in the surviving prefix.
+func growStreams(s []*rng.Stream, n int) []*rng.Stream {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	out := make([]*rng.Stream, n)
+	copy(out, s[:cap(s)])
+	return out
+}
+
+func phyParamsEqual(a, b phy.Params) bool {
+	return a.MeanSNRdB == b.MeanSNRdB && a.TargetBER == b.TargetBER &&
+		a.FixedThresholdDB == b.FixedThresholdDB && a.CSIMargin == b.CSIMargin &&
+		slices.Equal(a.Etas, b.Etas) && slices.Equal(a.ThresholdsDB, b.ThresholdsDB)
+}
+
+// modemFor returns the cached modem when the adaptivity class and PHY
+// parameters are unchanged, else builds (and caches) a fresh one.
+func (a *runArena) modemFor(sc Scenario) phy.PHY {
+	adaptive := AdaptivePHYFor(sc.Protocol)
+	if a.modem == nil || adaptive != a.modemAdaptive || !phyParamsEqual(sc.PHY, a.modemParams) {
+		if adaptive {
+			a.modem = phy.NewAdaptive(sc.PHY)
+		} else {
+			a.modem = phy.NewFixed(sc.PHY)
+		}
+		a.modemAdaptive = adaptive
+		a.modemParams = sc.PHY
+		a.modemParams.Etas = slices.Clone(sc.PHY.Etas)
+		a.modemParams.ThresholdsDB = slices.Clone(sc.PHY.ThresholdsDB)
+	}
+	return a.modem
+}
+
 // Build assembles the system and protocol without running them (exposed
-// for tests and custom drivers).
+// for tests and custom drivers). Each call uses a private arena, so the
+// returned system shares no state with pooled Run executions or other
+// Build results.
 func (sc Scenario) Build() (*mac.System, mac.Protocol, error) {
+	return sc.buildIn(newRunArena())
+}
+
+// buildIn assembles the scenario's system and protocol into the arena,
+// reusing whatever the arena already holds.
+func (sc Scenario) buildIn(a *runArena) (*mac.System, mac.Protocol, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
 	}
-	proto, err := NewProtocol(sc.Protocol)
-	if err != nil {
-		return nil, nil, err
+	key := strings.ToLower(strings.TrimSpace(sc.Protocol))
+	proto := a.protos[key]
+	if proto == nil {
+		p, err := NewProtocol(sc.Protocol)
+		if err != nil {
+			return nil, nil, err
+		}
+		a.protos[key] = p
+		proto = p
 	}
-
-	var modem phy.PHY
-	if AdaptivePHYFor(sc.Protocol) {
-		modem = phy.NewAdaptive(sc.PHY)
-	} else {
-		modem = phy.NewFixed(sc.PHY)
-	}
+	modem := a.modemFor(sc)
 
 	// The population is built lazily: stations are deferred until their
 	// first source event, so instantiating a 10⁶-station cell costs one
 	// Station slab plus the registry slabs, not 10⁶ traffic sources and
 	// fading states. First wakes come from the traffic birth probes on a
 	// throwaway stream reseeded per station; materialization later draws
-	// from a fresh stream with the same derived seed, so the sources (and
-	// every downstream draw) are byte-identical to an eager build. The
-	// per-station fading processes are single-user planes seeded exactly
+	// from a fresh-seeded stream with the same derived seed, so the
+	// sources (and every downstream draw) are byte-identical to an eager
+	// build. The per-station fading processes are slab rows seeded exactly
 	// like the shared bank's views ("chan"/i), and the frame loop only
 	// ever advances fading per view, so the sample paths match too.
 	n := sc.NumVoice + sc.NumData
-	vp := traffic.DefaultVoiceParams()
-	dp := traffic.DefaultDataParams()
-	firstWake := make([]sim.Time, n)
-	probe := rng.New(0)
+	a.seed, a.numVoice = sc.Seed, sc.NumVoice
+	a.chp, a.speeds = sc.Channel, sc.SpeedsKmh
+	a.vp = traffic.DefaultVoiceParams()
+	a.dp = traffic.DefaultDataParams()
+	if cap(a.firstWake) >= n {
+		a.firstWake = a.firstWake[:n]
+	} else {
+		a.firstWake = make([]sim.Time, n)
+	}
 	for i := 0; i < n; i++ {
 		if i < sc.NumVoice {
-			probe.Reseed(rng.SeedForIndexed(sc.Seed, "voice", i))
-			firstWake[i] = traffic.ProbeVoiceBirth(vp, probe, 0)
+			a.probe.Reseed(rng.SeedForIndexed(sc.Seed, "voice", i))
+			a.firstWake[i] = traffic.ProbeVoiceBirth(a.vp, a.probe, 0)
 		} else {
-			probe.Reseed(rng.SeedForIndexed(sc.Seed, "data", i))
-			firstWake[i] = traffic.ProbeDataBirth(dp, probe, 0)
+			a.probe.Reseed(rng.SeedForIndexed(sc.Seed, "data", i))
+			a.firstWake[i] = traffic.ProbeDataBirth(a.dp, a.probe, 0)
 		}
 	}
-	seed, numVoice := sc.Seed, sc.NumVoice
-	chp, speeds := sc.Channel, sc.SpeedsKmh
-	pop := &mac.LazyPopulation{
-		FirstWake: firstWake,
-		Materialize: func(i int) (*traffic.VoiceSource, *traffic.DataSource, *channel.Fading) {
-			p := chp
-			if len(speeds) > 0 {
-				// Mirror channel.NewBankWithSpeeds: per-station speed,
-				// Doppler re-derived from it.
-				p.SpeedKmh = speeds[i]
-				p.DopplerHz = 0
-			}
-			fad := channel.NewFading(p, rng.DeriveIndexed(seed, "chan", i))
-			if i < numVoice {
-				return traffic.NewVoice(vp, rng.DeriveIndexed(seed, "voice", i), 0), nil, fad
-			}
-			return nil, traffic.NewData(dp, rng.DeriveIndexed(seed, "data", i), 0), fad
-		},
+	a.chStreams = growStreams(a.chStreams, n)
+	a.vStreams = growStreams(a.vStreams, n)
+	a.dStreams = growStreams(a.dStreams, n)
+	if cap(a.vSrcs) >= n {
+		a.vSrcs = a.vSrcs[:n]
+	} else {
+		out := make([]*traffic.VoiceSource, n)
+		copy(out, a.vSrcs[:cap(a.vSrcs)])
+		a.vSrcs = out
 	}
+	if cap(a.dSrcs) >= n {
+		a.dSrcs = a.dSrcs[:n]
+	} else {
+		out := make([]*traffic.DataSource, n)
+		copy(out, a.dSrcs[:cap(a.dSrcs)])
+		a.dSrcs = out
+	}
+	a.slab.Reset()
+	a.pop.FirstWake = a.firstWake
 
-	macStream := rng.Derive(sc.Seed, "mac", sc.Protocol)
-	sys, err := mac.NewSystemLazy(sc.MAC, modem, n, macStream, pop)
-	if err != nil {
+	if a.macStream == nil {
+		a.macStream = rng.New(0)
+	}
+	a.macStream.Reseed(rng.SeedFor(sc.Seed, "mac", sc.Protocol))
+	if a.sys == nil {
+		sys, err := mac.NewSystemLazy(sc.MAC, modem, n, a.macStream, &a.pop)
+		if err != nil {
+			return nil, nil, err
+		}
+		a.sys = sys
+	} else if err := a.sys.ResetLazy(sc.MAC, modem, n, a.macStream, &a.pop); err != nil {
 		return nil, nil, err
 	}
-	return sys, proto, nil
+	return a.sys, proto, nil
 }
 
-// Run executes the scenario and returns the measured metrics.
+// Run executes the scenario and returns the measured metrics. The run
+// borrows a replication arena from a process-wide pool, so consecutive
+// runs (a sweep's replications) recycle their predecessors' allocations.
 func (sc Scenario) Run() (mac.Result, error) {
+	a := arenaPool.Get().(*runArena)
+	res, err := sc.runIn(a)
+	arenaPool.Put(a)
+	return res, err
+}
+
+func (sc Scenario) runIn(a *runArena) (mac.Result, error) {
 	sc = sc.withDefaults()
-	sys, proto, err := sc.Build()
+	sys, proto, err := sc.buildIn(a)
 	if err != nil {
 		return mac.Result{}, err
 	}
@@ -248,11 +427,17 @@ func (sc Scenario) Run() (mac.Result, error) {
 	limit := warmup + sim.FromSeconds(sc.DurationSec)
 
 	proto.Init(sys)
-	eng := sim.NewEngine()
+	if a.eng == nil {
+		a.eng = sim.NewEngine()
+	} else {
+		a.eng.Reset()
+	}
+	eng := a.eng
 	marked := false
 	// One recurring event drives the TDMA cadence; the step returns each
 	// frame's (possibly variable) duration as the delay to the next tick,
-	// so the whole run reuses a single event slot.
+	// so the whole run reuses a single event slot and the engine's
+	// single-event solo lane.
 	eng.ScheduleEvery(0, func(e *sim.Engine) sim.Time {
 		if !marked && sys.Now() >= warmup {
 			sys.M.Mark()

@@ -57,6 +57,43 @@ type Protocol struct {
 	// reach their high-water marks.
 	pool  []candidate
 	stale []*candidate
+	// powV and powD memoize the eq. (2) urgency/patience powers λ^x. The
+	// exponents are frame-quantized deadline and waiting distances, so a
+	// few dozen distinct values dominate a run; the panel profiles show
+	// math.Pow as one of the largest leaf costs without the cache.
+	powV powCache
+	powD powCache
+}
+
+// powCache memoizes math.Pow(lambda, x) keyed by the exact bits of x.
+// Pow is a pure function, so replaying a cached result is bit-identical
+// to recomputing it — safe under the golden byte-identity contract. The
+// table is direct-mapped: a collision just recomputes and overwrites.
+type powCache struct {
+	lambda float64
+	keys   [256]uint64 // math.Float64bits(x)+1; 0 marks an empty line
+	vals   [256]float64
+}
+
+// reset points the cache at a base. Entries survive when the base is
+// unchanged (replication reuse: the memo stays warm across reps).
+func (c *powCache) reset(lambda float64) {
+	if c.lambda != lambda {
+		c.lambda = lambda
+		c.keys = [256]uint64{}
+	}
+}
+
+func (c *powCache) pow(x float64) float64 {
+	k := math.Float64bits(x) + 1
+	h := (k * 0x9E3779B97F4A7C15) >> 56
+	if c.keys[h] == k {
+		return c.vals[h]
+	}
+	v := math.Pow(c.lambda, x)
+	c.keys[h] = k
+	c.vals[h] = v
+	return v
 }
 
 // New returns a CHARISMA instance.
@@ -65,19 +102,37 @@ func New() *Protocol { return &Protocol{} }
 // Name implements mac.Protocol.
 func (p *Protocol) Name() string { return "charisma" }
 
-// Init implements mac.Protocol.
+// Init implements mac.Protocol. Per-station slices are resized in place
+// when capacity allows, so re-Init for a new replication of the same
+// population (the arena path, see internal/core) does not allocate.
 func (p *Protocol) Init(s *mac.System) {
-	p.resEst = make([]channel.Estimate, len(s.Stations))
-	p.ackedAt = make([]int64, len(s.Stations))
+	n := len(s.Stations)
+	if cap(p.resEst) >= n {
+		p.resEst = p.resEst[:n]
+		clear(p.resEst)
+	} else {
+		p.resEst = make([]channel.Estimate, n)
+	}
+	if cap(p.ackedAt) >= n {
+		p.ackedAt = p.ackedAt[:n]
+	} else {
+		p.ackedAt = make([]int64, n)
+	}
 	for i := range p.ackedAt {
 		p.ackedAt[i] = -1
 	}
 	modes := s.PHY.Modes()
 	p.etaMax = modes[len(modes)-1].Eta
-	p.avgEta = make([]float64, len(s.Stations))
+	if cap(p.avgEta) >= n {
+		p.avgEta = p.avgEta[:n]
+	} else {
+		p.avgEta = make([]float64, n)
+	}
 	for i := range p.avgEta {
 		p.avgEta[i] = 1 // neutral prior: the fixed-rate baseline
 	}
+	p.powV.reset(s.Cfg.Charisma.LambdaV)
+	p.powD.reset(s.Cfg.Charisma.LambdaD)
 }
 
 // fairnessWeight returns the divisor the fairness extension applies to the
@@ -139,7 +194,7 @@ func (p *Protocol) priority(s *mac.System, c *candidate) {
 				framesLeft = 0
 			}
 		}
-		urgency := math.Pow(cp.LambdaV, framesLeft)
+		urgency := p.powV.pow(framesLeft)
 		c.prio = cp.Alpha*f + cp.BetaV*urgency + cp.VoiceOffset
 		return
 	}
@@ -147,7 +202,7 @@ func (p *Protocol) priority(s *mac.System, c *candidate) {
 	if waited < 0 {
 		waited = 0
 	}
-	patience := 1 - math.Pow(cp.LambdaD, waited)
+	patience := 1 - p.powD.pow(waited)
 	c.prio = cp.Alpha*f + cp.BetaD*patience
 }
 

@@ -43,11 +43,15 @@ func (p *Protocol) Name() string { return "drma" }
 
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
-	p.servedAt = make([]int64, len(s.Stations))
+	if n := len(s.Stations); cap(p.servedAt) >= n {
+		p.servedAt = p.servedAt[:n]
+	} else {
+		p.servedAt = make([]int64, n)
+	}
 	for i := range p.servedAt {
 		p.servedAt[i] = -1
 	}
-	p.pending = nil
+	p.pending = p.pending[:0]
 }
 
 func (p *Protocol) fixedMode(s *mac.System) phy.Mode { return s.PHY.Modes()[0] }

@@ -51,9 +51,14 @@ func (p *Protocol) Name() string {
 	return "d-tdma/fr"
 }
 
-// Init implements mac.Protocol.
+// Init implements mac.Protocol. The stamp slice is resized in place when
+// capacity allows, so re-Init for a new replication does not allocate.
 func (p *Protocol) Init(s *mac.System) {
-	p.servedAt = make([]int64, len(s.Stations))
+	if n := len(s.Stations); cap(p.servedAt) >= n {
+		p.servedAt = p.servedAt[:n]
+	} else {
+		p.servedAt = make([]int64, n)
+	}
 	for i := range p.servedAt {
 		p.servedAt[i] = -1
 	}

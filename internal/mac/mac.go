@@ -75,6 +75,14 @@ const (
 	// flagDeferred marks a lazy-population station whose sources and
 	// fading process have not been constructed yet.
 	flagDeferred uint8 = 1 << 5
+	// flagCandidate mirrors the station's live contention candidacy —
+	// it sits in a contention bucket and NeedsVoiceRequest or
+	// NeedsDataRequest holds. Reindex keeps the bit in sync and bumps the
+	// registry epoch only when it flips, so state changes that cannot
+	// alter the candidate set (servicing a reserved voice station, idle
+	// re-arms) leave the memoized candidate list valid. See Reindex and
+	// ForEachCandidate in registry.go.
+	flagCandidate uint8 = 1 << 6
 )
 
 func (st *Station) bucket() bucketKind     { return bucketKind(st.flags & stationBucketBits) }
@@ -289,6 +297,17 @@ type System struct {
 
 	reg  registry
 	lazy *LazyPopulation
+	// stnSlab is the contiguous station storage of a lazily built system,
+	// kept on the System so ResetLazy can rebuild the population into the
+	// same memory (the replication arena, see internal/core). srcChunks
+	// is the matching storage for materialized stations' sources pairs:
+	// fixed-capacity chunks allocated on demand (an idle cell pays
+	// nothing, a mostly-deferred million-station cell pays per
+	// materialized station), rewound and reused by ResetLazy. Chunks
+	// never grow, so handed-out *sources pointers stay valid.
+	stnSlab   []Station
+	srcChunks [][]sources
+	srcChunk  int
 
 	queue []*Request
 	// reqFree recycles retired Request objects: schedulers create a
@@ -317,7 +336,7 @@ func NewSystem(cfg Config, modem phy.PHY, stations []*Station, macStream *rng.St
 		return nil, fmt.Errorf("mac: nil MAC stream")
 	}
 	s := &System{Cfg: cfg, PHY: modem, Stations: stations, Rand: macStream}
-	s.reg.init(len(stations))
+	s.reg.reset(len(stations))
 	for i, st := range stations {
 		st.slot = int32(i)
 		b := classify(st)
@@ -340,30 +359,60 @@ func NewSystem(cfg Config, modem phy.PHY, stations []*Station, macStream *rng.St
 // eagerly with NewSystem, because an eagerly built idle station's sources
 // are equally untouched until its first wake.
 func NewSystemLazy(cfg Config, modem phy.PHY, n int, macStream *rng.Stream, pop *LazyPopulation) (*System, error) {
-	if pop == nil || pop.Materialize == nil {
-		return nil, fmt.Errorf("mac: lazy population without a Materialize hook")
-	}
-	if len(pop.FirstWake) != n {
-		return nil, fmt.Errorf("mac: %d first wakes for %d stations", len(pop.FirstWake), n)
-	}
-	if err := cfg.Validate(); err != nil {
+	s := &System{}
+	if err := s.ResetLazy(cfg, modem, n, macStream, pop); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// ResetLazy re-initializes s as a freshly built lazy system of n deferred
+// stations, reusing its previous life's station slab, registry slabs,
+// timer wheel, queue, and request free list wherever capacity suffices.
+// The rebuilt system is byte-identical in behaviour to one from
+// NewSystemLazy: every scalar is re-zeroed, every station struct is
+// overwritten whole, and recycled Requests are zeroed on reuse. This is
+// the replication arena's core — rep N+1 rebuilds the cell into rep N's
+// memory with near-zero allocations when the population size repeats.
+func (s *System) ResetLazy(cfg Config, modem phy.PHY, n int, macStream *rng.Stream, pop *LazyPopulation) error {
+	if pop == nil || pop.Materialize == nil {
+		return fmt.Errorf("mac: lazy population without a Materialize hook")
+	}
+	if len(pop.FirstWake) != n {
+		return fmt.Errorf("mac: %d first wakes for %d stations", len(pop.FirstWake), n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if modem == nil {
-		return nil, fmt.Errorf("mac: nil PHY")
+		return fmt.Errorf("mac: nil PHY")
 	}
 	if macStream == nil {
-		return nil, fmt.Errorf("mac: nil MAC stream")
+		return fmt.Errorf("mac: nil MAC stream")
 	}
-	s := &System{Cfg: cfg, PHY: modem, Rand: macStream, lazy: pop}
-	s.reg.init(n)
-	slab := make([]Station, n)
-	s.Stations = make([]*Station, n)
-	for i := range slab {
-		st := &slab[i]
-		st.ID = i
-		st.slot = int32(i)
-		st.flags = flagDeferred | uint8(bucketIdle)
+	s.Cfg, s.PHY, s.Rand, s.lazy = cfg, modem, macStream, pop
+	s.M = Metrics{}
+	s.now, s.frameIdx, s.lastDur = 0, 0, 0
+	s.queue = s.queue[:0]
+	s.DebugVoiceTx = nil
+	s.reg.reset(n)
+	if cap(s.stnSlab) >= n {
+		s.stnSlab = s.stnSlab[:n]
+	} else {
+		s.stnSlab = make([]Station, n)
+	}
+	for i := range s.srcChunks {
+		s.srcChunks[i] = s.srcChunks[i][:0]
+	}
+	s.srcChunk = 0
+	if cap(s.Stations) >= n {
+		s.Stations = s.Stations[:n]
+	} else {
+		s.Stations = make([]*Station, n)
+	}
+	for i := range s.stnSlab {
+		st := &s.stnSlab[i]
+		*st = Station{ID: i, slot: int32(i), flags: flagDeferred | uint8(bucketIdle)}
 		s.Stations[i] = st
 		s.reg.place(i, bucketIdle)
 		if fw := pop.FirstWake[i]; fw >= 0 {
@@ -371,7 +420,28 @@ func NewSystemLazy(cfg Config, modem phy.PHY, n int, macStream *rng.Stream, pop 
 			s.reg.wheel.add(int32(i), fw)
 		}
 	}
-	return s, nil
+	return nil
+}
+
+// srcChunkSize is the per-chunk capacity of the sources slab: small
+// enough that a lightly populated cell wastes little, big enough that a
+// typical cell fits in one or two chunks.
+const srcChunkSize = 64
+
+// newSources takes the next row of the chunked sources slab. A chunk is
+// append-only up to its fixed capacity and never reallocated, so the
+// returned pointer is stable; ResetLazy rewinds the chunks for reuse.
+func (s *System) newSources(v *traffic.VoiceSource, d *traffic.DataSource) *sources {
+	if s.srcChunk == len(s.srcChunks) {
+		s.srcChunks = append(s.srcChunks, make([]sources, 0, srcChunkSize))
+	}
+	c := s.srcChunks[s.srcChunk]
+	c = append(c, sources{voice: v, data: d})
+	s.srcChunks[s.srcChunk] = c
+	if len(c) == srcChunkSize {
+		s.srcChunk++
+	}
+	return &c[len(c)-1]
 }
 
 // materialize constructs a deferred station's sources and fading process.
@@ -382,7 +452,7 @@ func (s *System) materialize(st *Station) {
 	st.flags &^= flagDeferred
 	v, d, fad := s.lazy.Materialize(int(st.slot))
 	if v != nil || d != nil {
-		st.src = &sources{voice: v, data: d}
+		st.src = s.newSources(v, d)
 	}
 	st.fad = fad
 }
@@ -405,8 +475,11 @@ func (s *System) Now() sim.Time { return s.now }
 // FrameIndex returns the number of completed frames.
 func (s *System) FrameIndex() int64 { return s.frameIdx }
 
-// FrameDuration returns the standard fixed frame duration.
-func (s *System) FrameDuration() sim.Time { return s.Cfg.Geometry.Duration() }
+// FrameDuration returns the standard fixed frame duration. Reading the
+// symbol count directly keeps this an inlinable field load — calling
+// Geometry.Duration() would copy the whole struct on a hot path (the
+// lazy fading replay pays it per catch-up).
+func (s *System) FrameDuration() sim.Time { return sim.Time(s.Cfg.Geometry.FrameSymbols) }
 
 // BeginFrame realizes traffic arrivals, deadline drops, and reservation
 // releases at the new frame boundary. Only the active buckets and the idle
@@ -427,6 +500,26 @@ func (s *System) BeginFrame() {
 		s.Reindex(st)
 	}
 	s.scrubQueue()
+	// Fused candidate prepass: seed the contention-candidate cache from
+	// the snapshot while its stations are still cache-hot, so the
+	// protocol's first ForEachCandidate scan of the frame is free. This is
+	// exactly the scan that ForEachCandidate would run: the snapshot is a
+	// slot-ordered superset of the contention buckets (wakeDue ran before
+	// it was taken, and nothing after can move a station into a contention
+	// bucket that was not in an active bucket already), and the Reindex
+	// each snapshot station just went through (in the sweep above, or in
+	// scrubQueue for released pending stations) left flagCandidate equal
+	// to its live candidacy, so filtering the snapshot by that bit
+	// reproduces the bitset walk's order and membership without
+	// re-evaluating the predicates.
+	r := &s.reg
+	r.candScratch = r.candScratch[:0]
+	for _, st := range snap {
+		if st.flags&flagCandidate != 0 {
+			r.candScratch = append(r.candScratch, st)
+		}
+	}
+	r.candEpoch = r.epoch
 }
 
 // advanceTraffic realizes one station's source events up to now and applies

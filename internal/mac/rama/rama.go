@@ -42,7 +42,11 @@ func (p *Protocol) Name() string { return "rama" }
 
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
-	p.wonAt = make([]int64, len(s.Stations))
+	if n := len(s.Stations); cap(p.wonAt) >= n {
+		p.wonAt = p.wonAt[:n]
+	} else {
+		p.wonAt = make([]int64, n)
+	}
 	for i := range p.wonAt {
 		p.wonAt[i] = -1
 	}

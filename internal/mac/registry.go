@@ -137,15 +137,56 @@ type registry struct {
 	frameScratch []*Station // BeginFrame snapshot of the active buckets
 	dueScratch   []*Station // VoiceReservationsDue collection
 	wakeScratch  []int32    // wakeDue's collected due slots
+
+	// epoch counts candidate-set changes: Reindex bumps it exactly when a
+	// station's contention candidacy flips (tracked per station in
+	// flagCandidate; every mutation of bucket membership or of a
+	// Needs*Request input flows through Reindex — see the Reindex doc).
+	// candScratch caches the contention-candidate list built at epoch
+	// candEpoch; while the epoch is unchanged, repeated ForEachCandidate
+	// scans (one per minislot in the request-slot loops, and across the
+	// service phases of a frame, which reindex reserved stations without
+	// changing the set) replay the cached slice instead of re-walking the
+	// bitsets and re-evaluating the predicates. candEpoch 0 marks the
+	// cache invalid (epoch starts at 1).
+	epoch       uint64
+	candEpoch   uint64
+	candScratch []*Station
 }
 
-func (r *registry) init(n int) {
+// reset (re-)initializes the registry for an n-station cell, reusing any
+// already-allocated slab capacity — the replication-arena path rebuilds
+// the registry with zero allocations when the population size repeats.
+func (r *registry) reset(n int) {
+	words := (n + 63) / 64
 	for b := range r.sets {
-		r.sets[b] = newBitset(n)
+		if cap(r.sets[b]) >= words {
+			r.sets[b] = r.sets[b][:words]
+			clear(r.sets[b])
+		} else {
+			r.sets[b] = newBitset(n)
+		}
+		r.counts[b] = 0
 	}
-	r.stamp = make([]sim.Time, n)
-	r.chSync = make([]int32, n)
-	r.wheel.init(n, r.stamp)
+	if cap(r.stamp) >= n {
+		r.stamp = r.stamp[:n]
+		clear(r.stamp)
+	} else {
+		r.stamp = make([]sim.Time, n)
+	}
+	if cap(r.chSync) >= n {
+		r.chSync = r.chSync[:n]
+		clear(r.chSync)
+	} else {
+		r.chSync = make([]int32, n)
+	}
+	r.wheel.reset(n, r.stamp)
+	r.epoch = 1
+	r.candEpoch = 0
+	r.candScratch = r.candScratch[:0]
+	r.frameScratch = r.frameScratch[:0]
+	r.dueScratch = r.dueScratch[:0]
+	r.wakeScratch = r.wakeScratch[:0]
 }
 
 // place inserts a station slot into a bucket (registration time; the slot
@@ -223,6 +264,28 @@ func (s *System) Reindex(st *Station) {
 		return // foreign station (e.g. a clone registered with another cell)
 	}
 	b := classify(st)
+	// Candidate-cache maintenance: flagCandidate mirrors the station's
+	// live candidacy, so the cache is invalidated precisely when this
+	// station's membership flips. Any call may have changed a predicate
+	// input, but only this station's own membership can change — every
+	// mutation flows through a Reindex of the mutated station — so
+	// service-phase reindexes that do not flip it (transmitting on a
+	// voice reservation, draining part of a data backlog) leave the
+	// cached list valid for the frame's later contention scans. The
+	// predicates are only evaluated for contention-bucket stations, and
+	// short-circuit on the reserved flag for the common voice case.
+	now := maskContention&(1<<b) != 0 &&
+		(s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st))
+	if was := st.flags&flagCandidate != 0; now != was {
+		if now {
+			st.flags |= flagCandidate
+		} else {
+			st.flags &^= flagCandidate
+		}
+		if s.reg.candEpoch == s.reg.epoch {
+			s.reg.epoch++ // the flip outdates a currently-valid cache
+		}
+	}
 	if old := st.bucket(); b != old {
 		s.reg.move(int(st.slot), old, b)
 		st.setBucket(b)
@@ -310,12 +373,33 @@ func (s *System) appendIn(dst []*Station, mask bucketMask) []*Station {
 // ForEachCandidate visits, in station-ID order, every station that
 // currently needs a voice or data request — the §2 contention population.
 // Protocols layer their per-frame "already acknowledged" filter on top.
+//
+// The candidate list is memoized on the registry epoch: the per-minislot
+// scans of a request-slot loop repeat with no intervening state change
+// (a collision slot acknowledges nobody), and a frame's service phases
+// reindex reserved stations without flipping anyone's candidacy, so both
+// replay the cached slice. Iterating a snapshot is equivalent to a live
+// bitset walk under forEachIn's contract — fn must not re-bucket stations
+// other than the one it was handed, and any mutation of the handed
+// station flows through Reindex, which bumps the epoch exactly when a
+// membership flip outdates the cache.
 func (s *System) ForEachCandidate(fn func(*Station)) {
-	s.forEachIn(maskContention, func(st *Station) {
-		if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
-			fn(st)
-		}
-	})
+	r := &s.reg
+	if r.candEpoch != r.epoch {
+		r.candScratch = r.candScratch[:0]
+		s.forEachIn(maskContention, func(st *Station) {
+			if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
+				st.flags |= flagCandidate
+				r.candScratch = append(r.candScratch, st)
+			} else {
+				st.flags &^= flagCandidate
+			}
+		})
+		r.candEpoch = r.epoch
+	}
+	for _, st := range r.candScratch {
+		fn(st)
+	}
 }
 
 // AppendContenders appends to dst, in station-ID order, every contention
@@ -363,6 +447,11 @@ func (s *System) VerifyRegistry() error {
 		if want := classify(st); want != st.bucket() {
 			return fmt.Errorf("mac: station %d stale: bucket %v, state says %v", st.ID, st.bucket(), want)
 		}
+		cand := maskContention&(1<<st.bucket()) != 0 &&
+			(s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st))
+		if cand != (st.flags&flagCandidate != 0) {
+			return fmt.Errorf("mac: station %d candidate flag %v, live candidacy %v", st.ID, !cand, cand)
+		}
 		armed := s.reg.wheel.armed(st.slot)
 		if st.bucket() != bucketIdle && armed {
 			return fmt.Errorf("mac: station %d holds a wheel entry outside the idle bucket", st.ID)
@@ -390,6 +479,24 @@ func (s *System) VerifyRegistry() error {
 		}
 		if n != s.reg.counts[b] {
 			return fmt.Errorf("mac: bucket %v count %d but %d bits set", b, s.reg.counts[b], n)
+		}
+	}
+	// A valid candidate cache must match a fresh scan exactly: same
+	// stations, same slot order.
+	if s.reg.candEpoch == s.reg.epoch {
+		var fresh []*Station
+		s.forEachIn(maskContention, func(st *Station) {
+			if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
+				fresh = append(fresh, st)
+			}
+		})
+		if len(fresh) != len(s.reg.candScratch) {
+			return fmt.Errorf("mac: candidate cache holds %d stations, fresh scan %d", len(s.reg.candScratch), len(fresh))
+		}
+		for i, st := range fresh {
+			if s.reg.candScratch[i] != st {
+				return fmt.Errorf("mac: candidate cache entry %d is station %d, fresh scan says %d", i, s.reg.candScratch[i].ID, st.ID)
+			}
 		}
 	}
 	return nil

@@ -53,7 +53,12 @@ func (p *Protocol) Name() string { return "rmav" }
 
 // Init implements mac.Protocol.
 func (p *Protocol) Init(s *mac.System) {
-	p.voiceSlot = make([]bool, len(s.Stations))
+	if n := len(s.Stations); cap(p.voiceSlot) >= n {
+		p.voiceSlot = p.voiceSlot[:n]
+		clear(p.voiceSlot)
+	} else {
+		p.voiceSlot = make([]bool, n)
+	}
 	p.dataGrant = nil
 }
 

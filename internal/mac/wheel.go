@@ -81,13 +81,33 @@ type timerWheel struct {
 	scratch []int32
 }
 
-func (w *timerWheel) init(n int, stamp []sim.Time) {
-	w.loc = make([]uint16, n)
+// reset (re-)initializes the wheel for an n-station cell, truncating any
+// populated buckets and reusing slab capacity where it suffices.
+func (w *timerWheel) reset(n int, stamp []sim.Time) {
+	w.base = 0
+	if w.count != 0 {
+		for l := range w.buckets {
+			for s := range w.buckets[l] {
+				w.buckets[l][s] = w.buckets[l][s][:0]
+			}
+		}
+		w.count = 0
+	}
+	if cap(w.loc) >= n {
+		w.loc = w.loc[:n]
+	} else {
+		w.loc = make([]uint16, n)
+	}
 	for i := range w.loc {
 		w.loc[i] = noWheelLoc
 	}
-	w.pos = make([]int32, n)
+	if cap(w.pos) >= n {
+		w.pos = w.pos[:n]
+	} else {
+		w.pos = make([]int32, n)
+	}
 	w.stamp = stamp
+	w.scratch = w.scratch[:0]
 }
 
 // armed reports whether a station has a live entry.

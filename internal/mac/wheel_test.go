@@ -19,7 +19,7 @@ type wheelHarness struct {
 
 func newWheelHarness(n int) *wheelHarness {
 	h := &wheelHarness{stamp: make([]sim.Time, n), armed: make([]bool, n)}
-	h.w.init(n, h.stamp)
+	h.w.reset(n, h.stamp)
 	return h
 }
 

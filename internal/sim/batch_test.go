@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The batch-dispatch equivalence suite: Run (StepBatch + the solo fast
+// lane) must execute the exact event sequence the reference
+// one-event-at-a-time Step loop executes, for any schedule — including
+// handlers that schedule and cancel co-timestamped events mid-batch and
+// recurring events that collapse into the solo lane.
+
+// batchChild is a one-shot event a firing handler schedules, delta ticks
+// after the firing instant (delta 0 lands it in the current cohort's
+// timestamp, after the cohort — it carries a later seq).
+type batchChild struct {
+	label int
+	delta Time
+}
+
+// batchEv scripts one root event. One-shot events may cancel other
+// events by label and schedule children when they fire; recurring events
+// re-fire once per scripted delay and then stop.
+type batchEv struct {
+	label    int
+	at       Time
+	delays   []Time // non-nil => recurring
+	children []batchChild
+	cancels  []int
+}
+
+// runBatchScript replays the script on a fresh engine. With reference
+// true the engine is drained with the one-event-at-a-time Step loop;
+// otherwise with Run (batch + solo lane). Returns the execution trace.
+func runBatchScript(script []batchEv, reference bool) []int {
+	e := NewEngine()
+	trace := []int{}
+	ids := map[int]EventID{}
+	for _, ev := range script {
+		ev := ev
+		if ev.delays != nil {
+			k := 0
+			ids[ev.label] = e.ScheduleEvery(ev.at, func(eng *Engine) Time {
+				trace = append(trace, ev.label)
+				if k < len(ev.delays) {
+					d := ev.delays[k]
+					k++
+					return d
+				}
+				return -1
+			})
+			continue
+		}
+		ids[ev.label] = e.Schedule(ev.at, func(eng *Engine) {
+			trace = append(trace, ev.label)
+			for _, c := range ev.cancels {
+				if id, ok := ids[c]; ok {
+					eng.Cancel(id)
+				}
+			}
+			for _, ch := range ev.children {
+				ch := ch
+				ids[ch.label] = eng.Schedule(eng.Now()+ch.delta, func(*Engine) {
+					trace = append(trace, ch.label)
+				})
+			}
+		})
+	}
+	if reference {
+		for e.Step() {
+		}
+	} else {
+		e.Run()
+	}
+	return trace
+}
+
+// genBatchScript builds a random script with heavy timestamp collisions:
+// many events share each instant, handlers cancel co-timestamped peers
+// and schedule same-instant children, and a few recurring events (some
+// with zero delays, re-firing within the same timestamp) ride along.
+func genBatchScript(r *rand.Rand) []batchEv {
+	n := 10 + r.Intn(60)
+	script := make([]batchEv, 0, n)
+	next := n // child labels start after root labels
+	for i := 0; i < n; i++ {
+		ev := batchEv{label: i, at: Time(r.Intn(12))}
+		if r.Intn(5) == 0 {
+			reps := 1 + r.Intn(4)
+			for j := 0; j < reps; j++ {
+				// Zero delays re-fire within the same timestamp (a later
+				// cohort pass at the same t).
+				ev.delays = append(ev.delays, Time(r.Intn(4)))
+			}
+			script = append(script, ev)
+			continue
+		}
+		for r.Intn(3) == 0 {
+			deltas := []Time{0, 0, 1, 3}
+			ev.children = append(ev.children, batchChild{label: next, delta: deltas[r.Intn(len(deltas))]})
+			next++
+		}
+		for r.Intn(4) == 0 {
+			// Prefer cancelling a peer at the same timestamp so the
+			// mid-batch cancellation path is exercised.
+			target := r.Intn(n)
+			for t := 0; t < i; t++ {
+				if script[t].at == ev.at && r.Intn(2) == 0 {
+					target = script[t].label
+					break
+				}
+			}
+			ev.cancels = append(ev.cancels, target)
+		}
+		script = append(script, ev)
+	}
+	return script
+}
+
+// Property: the batch path's execution order is identical to the
+// reference Step loop for any randomized schedule.
+func TestStepBatchMatchesStepLoopProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		script := genBatchScript(r)
+		ref := runBatchScript(script, true)
+		got := runBatchScript(script, false)
+		if !reflect.DeepEqual(ref, got) {
+			t.Logf("seed %d: reference %v != batch %v", seed, ref, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Explicit StepBatch contract: one call fires the whole co-timestamped
+// cohort (including same-t events scheduled mid-batch) and nothing else.
+func TestStepBatchFiresExactlyOneCohort(t *testing.T) {
+	e := NewEngine()
+	var trace []int
+	for i := 0; i < 8; i++ {
+		i := i
+		e.Schedule(10, func(eng *Engine) {
+			trace = append(trace, i)
+			if i == 3 {
+				eng.Schedule(10, func(*Engine) { trace = append(trace, 100) })
+			}
+		})
+	}
+	e.Schedule(20, func(*Engine) { trace = append(trace, 200) })
+	if n := e.StepBatch(); n != 9 {
+		t.Fatalf("StepBatch fired %d events, want 9 (8 + 1 mid-batch)", n)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 100}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1 (the t=20 event)", e.Pending())
+	}
+}
+
+// Mid-batch cancellation: an already-detached cohort member cancelled by
+// an earlier member must not fire, and Cancel must report it was pending.
+func TestStepBatchMidBatchCancel(t *testing.T) {
+	e := NewEngine()
+	var trace []int
+	var victim EventID
+	e.Schedule(5, func(eng *Engine) {
+		trace = append(trace, 0)
+		if !eng.Cancel(victim) {
+			t.Error("Cancel of detached co-timestamped event returned false")
+		}
+	})
+	victim = e.Schedule(5, func(*Engine) { trace = append(trace, 1) })
+	e.Schedule(5, func(*Engine) { trace = append(trace, 2) })
+	if n := e.StepBatch(); n != 2 {
+		t.Fatalf("StepBatch fired %d events, want 2", n)
+	}
+	if want := []int{0, 2}; !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+// The solo fast lane: a single recurring driver that periodically spawns
+// co-timestamped one-shots (leaving and re-entering the lane) must trace
+// identically under Run and the Step loop.
+func TestRunSoloLaneMatchesStepLoop(t *testing.T) {
+	build := func() (*Engine, *[]int) {
+		e := NewEngine()
+		trace := &[]int{}
+		tick := 0
+		e.ScheduleEvery(0, func(eng *Engine) Time {
+			tick++
+			*trace = append(*trace, tick)
+			if tick%7 == 0 {
+				// Same-instant one-shot: fires after this driver tick.
+				eng.Schedule(eng.Now(), func(*Engine) { *trace = append(*trace, -tick) })
+			}
+			if tick >= 100 {
+				return -1
+			}
+			return 800
+		})
+		return e, trace
+	}
+	eRef, ref := build()
+	for eRef.Step() {
+	}
+	eRun, got := build()
+	eRun.Run()
+	if !reflect.DeepEqual(*ref, *got) {
+		t.Fatalf("solo-lane trace diverged:\nref %v\ngot %v", *ref, *got)
+	}
+	if eRef.Now() != eRun.Now() || eRef.Executed() != eRun.Executed() {
+		t.Fatalf("clock/executed diverged: ref (%v, %d) vs run (%v, %d)",
+			eRef.Now(), eRef.Executed(), eRun.Now(), eRun.Executed())
+	}
+}
+
+// RunUntil through the batch path: events exactly at the limit fire,
+// later cohorts stay queued, and the clock parks on the limit.
+func TestRunUntilBatchBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := map[Time]int{}
+	for _, at := range []Time{5, 5, 5, 10, 10, 15, 15} {
+		at := at
+		e.Schedule(at, func(*Engine) { fired[at]++ })
+	}
+	e.RunUntil(10)
+	if fired[5] != 3 || fired[10] != 2 || fired[15] != 0 {
+		t.Fatalf("fired = %v, want 3 at t=5, 2 at t=10, 0 at t=15", fired)
+	}
+	if e.Now() != 10 || e.Pending() != 2 {
+		t.Fatalf("Now=%v Pending=%d, want 10 and 2", e.Now(), e.Pending())
+	}
+	// A solo recurring driver must also respect the limit.
+	e2 := NewEngine()
+	n := 0
+	e2.ScheduleEvery(0, func(*Engine) Time { n++; return 100 })
+	e2.RunUntil(250)
+	if n != 3 { // fires at 0, 100, 200; 300 exceeds the limit
+		t.Fatalf("driver fired %d times, want 3", n)
+	}
+	if e2.Now() != 250 || e2.Pending() != 1 {
+		t.Fatalf("Now=%v Pending=%d, want 250 and 1", e2.Now(), e2.Pending())
+	}
+}
+
+// Reset must leave the engine byte-for-byte equivalent to a fresh one in
+// behaviour (same firing order, same clock) while reusing its arena, and
+// must invalidate pre-reset EventIDs.
+func TestEngineResetBehavesLikeFresh(t *testing.T) {
+	script := func(e *Engine, trace *[]Time) {
+		for _, at := range []Time{7, 3, 3, 9, 7} {
+			at := at
+			e.Schedule(at, func(*Engine) { *trace = append(*trace, at) })
+		}
+		e.Run()
+	}
+	var fresh, reused []Time
+	ef := NewEngine()
+	script(ef, &fresh)
+
+	er := NewEngine()
+	var scratch []Time
+	script(er, &scratch)
+	// Left pending across the Reset: the ID must be dead afterwards.
+	id := er.Schedule(er.Now()+50, func(*Engine) { scratch = append(scratch, 50) })
+	er.Reset()
+	if er.Now() != 0 || er.Pending() != 0 || er.Executed() != 0 {
+		t.Fatalf("post-Reset state: now=%v pending=%d executed=%d", er.Now(), er.Pending(), er.Executed())
+	}
+	if er.Cancel(id) {
+		t.Fatal("pre-Reset EventID still cancels after Reset")
+	}
+	script(er, &reused)
+	if !reflect.DeepEqual(fresh, reused) {
+		t.Fatalf("reset engine trace %v != fresh trace %v", reused, fresh)
+	}
+}
+
+// The batch dispatch path must stay allocation-free in steady state
+// (after the one-time comparator and scratch warm-up).
+func TestStepBatchSteadyStateAllocationFree(t *testing.T) {
+	e := NewEngine()
+	h := func(*Engine) {}
+	burst := func() {
+		for j := 0; j < 256; j++ {
+			e.Schedule(e.Now()+Time(j%13), h)
+		}
+		e.Run()
+	}
+	burst() // warm the arena, heap, batch scratch, and comparator
+	if allocs := testing.AllocsPerRun(100, burst); allocs > 0 {
+		t.Fatalf("batched dispatch allocates %v allocs/op in steady state", allocs)
+	}
+}

@@ -64,9 +64,17 @@ type DataSource struct {
 // NewData creates a data source. The first burst arrives one exponential
 // inter-arrival after now.
 func NewData(p DataParams, stream *rng.Stream, now sim.Time) *DataSource {
-	d := &DataSource{p: p, rnd: stream}
-	d.nextArrival = now + sim.FromSeconds(stream.Exp(p.MeanInterarrivalSec))
+	d := &DataSource{}
+	d.Reset(p, stream, now)
 	return d
+}
+
+// Reset re-initializes d in place exactly as NewData would — same draw,
+// same initial state — while reusing the burst queue's capacity. See
+// VoiceSource.Reset.
+func (d *DataSource) Reset(p DataParams, stream *rng.Stream, now sim.Time) {
+	*d = DataSource{p: p, rnd: stream, bursts: d.bursts[:0]}
+	d.nextArrival = now + sim.FromSeconds(stream.Exp(p.MeanInterarrivalSec))
 }
 
 // Params returns the source configuration.

@@ -93,7 +93,18 @@ type VoiceSource struct {
 // stationary distribution, so measurements need no per-source warm-up for
 // the on-off process itself.
 func NewVoice(p VoiceParams, stream *rng.Stream, now sim.Time) *VoiceSource {
-	v := &VoiceSource{p: p, rnd: stream}
+	v := &VoiceSource{}
+	v.Reset(p, stream, now)
+	return v
+}
+
+// Reset re-initializes v in place exactly as NewVoice would — same
+// draws, same order, same initial state — while reusing the packet
+// buffer's capacity. The slab-allocated population path (internal/core's
+// replication arena) rebuilds each station's source into the previous
+// replication's memory with this.
+func (v *VoiceSource) Reset(p VoiceParams, stream *rng.Stream, now sim.Time) {
+	*v = VoiceSource{p: p, rnd: stream, buf: v.buf[:0]}
 	v.talking = stream.Bernoulli(p.ActivityFactor())
 	if v.talking {
 		v.stateEnd = now + sim.FromSeconds(stream.Exp(p.MeanTalkSec))
@@ -101,7 +112,6 @@ func NewVoice(p VoiceParams, stream *rng.Stream, now sim.Time) *VoiceSource {
 	} else {
 		v.stateEnd = now + sim.FromSeconds(stream.Exp(p.MeanSilenceSec))
 	}
-	return v
 }
 
 // Params returns the source configuration.

@@ -8,22 +8,23 @@
 #   scripts/bench.sh smoke      # CI: 1 iteration + zero-alloc guard, no file
 #
 # Environment:
-#   BENCH_PR     PR number stamped into the snapshot (default 6)
+#   BENCH_PR     PR number stamped into the snapshot (default 7)
 #   BENCH_COUNT  -count for the substrate benches (default 5)
 #   BENCH_OUT    output path (default BENCH_${BENCH_PR}.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 mode=${1:-snapshot}
-pr=${BENCH_PR:-6}
+pr=${BENCH_PR:-7}
 out=${BENCH_OUT:-BENCH_${pr}.json}
 
 # The hot paths that must stay allocation-free: the channel plane's frame
 # advance, its memoized queries and batched replay, mode selection, the
-# event engine's steady state, the CHARISMA frame path over an active cell
-# (request free list, PR 5), and the idle-wake cycle over a 10⁵-station
-# lazy cell (timer wheel, PR 6).
-ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule|CharismaFrame|IdleWakeCell)$'
+# event engine's steady state and equal-timestamp batch dispatch (PR 7),
+# the CHARISMA frame path over an active cell (request free list, PR 5),
+# the idle-wake cycle over a 10⁵-station lazy cell (timer wheel, PR 6),
+# and the warm-arena replication setup (PR 7).
+ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule|EngineStepBatch|CharismaFrame|IdleWakeCell|ReplicationSetup)$'
 
 # Population-scaling ceiling: resident heap per idle station at 10⁵
 # stations (the same budget TestMillionStationMemoryBudget pins at 10⁶).
@@ -34,12 +35,15 @@ case "$mode" in
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
     go test -run '^$' -benchtime 1x -benchmem -timeout 10m \
-      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$|BenchmarkCharismaFrame|BenchmarkIdleWakeCell' \
+      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$|BenchmarkEngineStepBatch|BenchmarkCharismaFrame|BenchmarkIdleWakeCell' \
       . | tee "$raw"
     # The 10⁵ population point runs separately: its sub-bench pattern would
     # otherwise filter the flat benchmarks above.
     go test -run '^$' -benchtime 1x -benchmem -timeout 10m \
       -bench 'BenchmarkIdleCellPopulation/n=100000$' . | tee -a "$raw"
+    # Warm-arena replication setup (white-box bench in internal/core).
+    go test -run '^$' -benchtime 1x -benchmem -timeout 10m \
+      -bench 'BenchmarkReplicationSetup' ./internal/core | tee -a "$raw"
     go run ./cmd/benchsnap -in "$raw" -assert-zero-allocs "$ZERO_ALLOC" \
       -assert-max-metric "$MAX_B_PER_STATION"
     ;;
@@ -48,14 +52,18 @@ case "$mode" in
     trap 'rm -f "$raw"' EXIT
     # Substrate microbenches: repeated samples for a stable min/median.
     go test -run '^$' -count "${BENCH_COUNT:-5}" -benchmem -timeout 60m \
-      -bench 'BenchmarkChannelBankFrame|BenchmarkChannelBankQuery|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkCharismaFrame|BenchmarkScenarioRun|BenchmarkEngineSchedule$|BenchmarkSimulatedSecondAllProtocols|BenchmarkIdleWakeCell' \
+      -bench 'BenchmarkChannelBankFrame|BenchmarkChannelBankQuery|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkCharismaFrame|BenchmarkScenarioRun|BenchmarkEngineSchedule$|BenchmarkEngineStepBatch|BenchmarkSimulatedSecondAllProtocols|BenchmarkIdleWakeCell' \
       . | tee "$raw"
+    go test -run '^$' -count "${BENCH_COUNT:-5}" -benchmem -timeout 60m \
+      -bench 'BenchmarkReplicationSetup' ./internal/core | tee -a "$raw"
     # Population-scaling family: B/station and ns/frame at 10⁴..10⁶.
     go test -run '^$' -count "${BENCH_COUNT:-5}" -benchmem -timeout 60m \
       -bench 'BenchmarkIdleCellPopulation' . | tee -a "$raw"
     # One representative panel per figure: the end-to-end workload shape.
-    # A single iteration is already a full reduced-effort panel sweep.
-    go test -run '^$' -count 1 -benchtime 1x -benchmem -timeout 60m \
+    # A single iteration is already a full reduced-effort panel sweep;
+    # three repeats give the snapshot a usable min/median instead of a
+    # single noisy sample.
+    go test -run '^$' -count 3 -benchtime 1x -benchmem -timeout 60m \
       -bench 'BenchmarkFig11a|BenchmarkFig12a|BenchmarkFig13a' . | tee -a "$raw"
     go run ./cmd/benchsnap -pr "$pr" -in "$raw" -out "$out" \
       -assert-zero-allocs "$ZERO_ALLOC" -assert-max-metric "$MAX_B_PER_STATION"
