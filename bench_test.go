@@ -696,6 +696,72 @@ func TestActiveFrameSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestObsOffHotPathAllocs is the observability cost gate: with no
+// observer attached (no trace recorder, no flight recorder) the
+// always-compiled-in obs.SimCounters must be invisible — the
+// steady-state frame path stays at exactly 0 allocs/op while the
+// counters demonstrably advance. If instrumentation ever grows an
+// allocation or an atomic on the frame path, this fails before any
+// golden or bench gate does.
+func TestObsOffHotPathAllocs(t *testing.T) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice, sc.NumData = 60, 10
+	sys, proto, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto.Init(sys)
+	for f := 0; f < 2000; f++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
+	before := *sys.Obs()
+	avg := testing.AllocsPerRun(2000, func() {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	})
+	if avg != 0 {
+		t.Errorf("%.4f allocs/frame with live counters, want 0", avg)
+	}
+	after := *sys.Obs()
+	if after.WheelArms <= before.WheelArms {
+		t.Error("WheelArms did not advance across 2000 active frames")
+	}
+	if after.CandHits+after.CandMisses <= before.CandHits+before.CandMisses {
+		t.Error("candidate-cache counters did not advance")
+	}
+}
+
+// obsBenchSink keeps the per-frame counter read in BenchmarkObsOffFrame
+// from being optimized away.
+var obsBenchSink uint64
+
+// BenchmarkObsOffFrame is BenchmarkCharismaFrame plus a counter read per
+// frame — the number the zero-alloc gate in scripts/bench.sh checks to
+// prove observability rides along for free.
+func BenchmarkObsOffFrame(b *testing.B) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice, sc.NumData = 60, 10
+	sys, proto, err := sc.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto.Init(sys)
+	for f := 0; f < 2000; f++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sys.BeginFrame()
+		sys.EndFrame(proto.RunFrame(sys))
+		sink += sys.Obs().WheelArms
+	}
+	obsBenchSink = sink
+}
+
 func BenchmarkCharismaFrame(b *testing.B) {
 	sc := core.DefaultScenario(core.ProtoCharisma)
 	sc.NumVoice, sc.NumData = 60, 10

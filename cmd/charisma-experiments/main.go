@@ -41,6 +41,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +51,7 @@ import (
 	"charisma/internal/experiments"
 	"charisma/internal/grid"
 	"charisma/internal/prof"
+	"charisma/internal/trace"
 )
 
 func main() {
@@ -69,8 +71,14 @@ func main() {
 		progress   = flag.Bool("progress", true, "render live per-point sweep progress to stderr as replications settle")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		flightN    = flag.Int("flight-recorder", 0, "keep the last N frames of each local replication; dump JSONL on panic/SIGQUIT/sweep anomaly")
+		flightPath = flag.String("flight-path", "charisma-flight.jsonl", "flight-recorder dump file (JSONL, appended)")
 	)
 	flag.Parse()
+
+	if *flightN > 0 {
+		trace.ArmFlight(*flightN, *flightPath)
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -111,13 +119,15 @@ func main() {
 		os.Exit(1)
 	}
 	if *listen != "" {
+		log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 		srv := grid.NewServer()
 		srv.LeaseTTL = *leaseTTL
+		srv.Log = log
 		rc.Server = srv
 		rc.RemoteOnly = *remoteOnly
 		go func() {
 			if err := srv.ListenAndServe(ctx, *listen); err != nil && ctx.Err() == nil {
-				fmt.Fprintln(os.Stderr, "charisma-experiments: grid server:", err)
+				log.Error("grid server failed", "addr", *listen, "err", err)
 				stop() // a dead coordinator would hang a -remote-only sweep
 			}
 		}()

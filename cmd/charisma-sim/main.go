@@ -24,6 +24,7 @@ import (
 
 	"charisma"
 	"charisma/internal/prof"
+	"charisma/internal/trace"
 )
 
 // stopProf ends any active profiling; fatal paths call it explicitly
@@ -38,26 +39,32 @@ func fatal(args ...any) {
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "charisma", "protocol: charisma, d-tdma/vr, d-tdma/fr, drma, rama, rmav")
-		all      = flag.Bool("all", false, "run all six protocols on the same cell")
-		voice    = flag.Int("voice", 50, "number of voice users (Nv)")
-		data     = flag.Int("data", 0, "number of data users (Nd)")
-		queue    = flag.Bool("queue", false, "enable the base-station request queue")
-		seed     = flag.Int64("seed", 1, "random seed")
-		reps     = flag.Int("reps", 1, "independent replications pooled per result (CI95 across reps)")
-		duration = flag.Float64("duration", 30, "measured seconds of simulated time")
-		warmup   = flag.Float64("warmup", 2, "warm-up seconds excluded from metrics")
-		speed    = flag.Float64("speed", 0, "mobile speed in km/h (0 = paper default, 50)")
-		snr      = flag.Float64("snr", 0, "mean link SNR in dB (0 = calibrated default)")
-		cells    = flag.Int("cells", 0, "number of base stations (>= 2 runs the multi-cell handoff deployment)")
-		workers  = flag.Int("workers", 0, "worker goroutines for cells/replications (0 = one per core)")
-		cacheDir = flag.String("cache-dir", "", "content-addressed replication cache directory (single-cell runs)")
-		prec     = flag.Float64("precision", 0, "adaptive replication: target relative CI95 half-width (0 = fixed -reps)")
-		maxReps  = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		protocol   = flag.String("protocol", "charisma", "protocol: charisma, d-tdma/vr, d-tdma/fr, drma, rama, rmav")
+		all        = flag.Bool("all", false, "run all six protocols on the same cell")
+		voice      = flag.Int("voice", 50, "number of voice users (Nv)")
+		data       = flag.Int("data", 0, "number of data users (Nd)")
+		queue      = flag.Bool("queue", false, "enable the base-station request queue")
+		seed       = flag.Int64("seed", 1, "random seed")
+		reps       = flag.Int("reps", 1, "independent replications pooled per result (CI95 across reps)")
+		duration   = flag.Float64("duration", 30, "measured seconds of simulated time")
+		warmup     = flag.Float64("warmup", 2, "warm-up seconds excluded from metrics")
+		speed      = flag.Float64("speed", 0, "mobile speed in km/h (0 = paper default, 50)")
+		snr        = flag.Float64("snr", 0, "mean link SNR in dB (0 = calibrated default)")
+		cells      = flag.Int("cells", 0, "number of base stations (>= 2 runs the multi-cell handoff deployment)")
+		workers    = flag.Int("workers", 0, "worker goroutines for cells/replications (0 = one per core)")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed replication cache directory (single-cell runs)")
+		prec       = flag.Float64("precision", 0, "adaptive replication: target relative CI95 half-width (0 = fixed -reps)")
+		maxReps    = flag.Int("max-reps", 0, "cap on adaptive replication growth (0 = default)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		flightN    = flag.Int("flight-recorder", 0, "keep the last N frames of each replication; dump JSONL on panic/SIGQUIT")
+		flightPath = flag.String("flight-path", "charisma-flight.jsonl", "flight-recorder dump file (JSONL, appended)")
 	)
 	flag.Parse()
+
+	if *flightN > 0 {
+		trace.ArmFlight(*flightN, *flightPath)
+	}
 
 	var err error
 	if stopProf, err = prof.Start(*cpuProf, *memProf); err != nil {

@@ -7,7 +7,7 @@
 //
 //	charisma-worker -coordinator http://host:9123
 //	charisma-worker -coordinator http://host:9123 -parallel 8 \
-//	    -cache-dir ~/.charisma-cache -max-idle 2m
+//	    -cache-dir ~/.charisma-cache -max-idle 2m -stats-addr :9200
 //
 // A worker-local -cache-dir short-circuits tasks the worker has already
 // simulated (content-addressed on hash(spec, rep-seed), the same keys the
@@ -22,18 +22,30 @@
 // the coordinator would discard. The -id flag names the worker for the
 // coordinator's re-queue exclusion (a worker is not immediately handed
 // back a task it timed out on); it defaults to "<hostname>-<pid>".
+//
+// Observability: the worker logs structured events (task claims at
+// -log-level debug, lease abandons, exit reasons) as logfmt-style slog
+// lines on stderr, every line tagged worker=<id>. -stats-addr serves a
+// live JSON counter snapshot (tasks claimed/completed/abandoned, local
+// cache hits/misses, mean heartbeat round-trip) at GET /stats.
+// -flight-recorder N keeps the last N frames of every replication in a
+// ring that is dumped as JSONL on panic or SIGQUIT.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
-	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"charisma/internal/grid"
+	"charisma/internal/trace"
 )
 
 func main() {
@@ -44,16 +56,42 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "worker-local content-addressed replication cache")
 		poll        = flag.Duration("poll", 200*time.Millisecond, "idle re-poll interval")
 		maxIdle     = flag.Duration("max-idle", 2*time.Minute, "exit after this long without work (0 = poll forever)")
+		statsAddr   = flag.String("stats-addr", "", "serve a JSON worker-stats snapshot at GET /stats on this address")
+		logLevel    = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
+		flightN     = flag.Int("flight-recorder", 0, "keep the last N frames of each replication; dump JSONL on panic/SIGQUIT")
+		flightPath  = flag.String("flight-path", "charisma-flight.jsonl", "flight-recorder dump file (JSONL, appended)")
 	)
 	flag.Parse()
 
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: parseLevel(*logLevel)}))
+
 	if *coordinator == "" {
-		fmt.Fprintln(os.Stderr, "charisma-worker: -coordinator is required")
+		log.Error("-coordinator is required")
 		os.Exit(2)
+	}
+	if *flightN > 0 {
+		trace.ArmFlight(*flightN, *flightPath)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	stats := new(grid.WorkerStats)
+	if *statsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(stats.Snapshot())
+		})
+		srv := &http.Server{Addr: *statsAddr, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Error("stats endpoint failed", "addr", *statsAddr, "err", err)
+			}
+		}()
+		defer srv.Close()
+		log.Info("serving worker stats", "addr", *statsAddr)
+	}
 
 	w := grid.Worker{
 		Coordinator: *coordinator,
@@ -62,9 +100,29 @@ func main() {
 		Cache:       grid.NewCache(*cacheDir),
 		Poll:        *poll,
 		MaxIdle:     *maxIdle,
+		Log:         log,
+		Stats:       stats,
 	}
+	log.Info("worker starting", "coordinator", *coordinator, "parallel", *parallel)
 	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
-		fmt.Fprintln(os.Stderr, "charisma-worker:", err)
+		log.Error("worker failed", "err", err)
 		os.Exit(1)
+	}
+	snap := stats.Snapshot()
+	log.Info("worker done",
+		"claimed", snap.Claimed, "completed", snap.Completed, "abandoned", snap.Abandoned,
+		"cache_hits", snap.CacheHits, "cache_misses", snap.CacheMisses)
+}
+
+func parseLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"charisma/internal/channel"
 	"charisma/internal/experiments"
+	"charisma/internal/prof"
 	"charisma/internal/sim"
 )
 
@@ -24,8 +25,17 @@ func main() {
 		speed   = flag.Float64("speed", 50, "mobile speed in km/h")
 		seed    = flag.Int64("seed", 1, "random seed")
 		stepMs  = flag.Float64("step", 2.5, "sample period in ms (default: one frame)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the trace to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fading-trace:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	switch *what {
 	case "fading":
@@ -45,6 +55,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "fading-trace: unknown -what %q\n", *what)
+		stopProf() // os.Exit skips the defer
 		os.Exit(1)
 	}
 }

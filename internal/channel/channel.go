@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"charisma/internal/mathx"
+	"charisma/internal/obs"
 	"charisma/internal/rng"
 	"charisma/internal/sim"
 )
@@ -234,6 +235,16 @@ func (s *Slab) New(p Params, stream *rng.Stream) *Fading {
 // Reset rewinds the slab so every row can be handed out again.
 func (s *Slab) Reset() { s.cur, s.used = 0, 0 }
 
+// Obs sums the lazy-replay counters of every chunk plane the slab has
+// allocated. Read at a quiescent point only.
+func (s *Slab) Obs() obs.SimCounters {
+	var sum obs.SimCounters
+	for _, pl := range s.planes {
+		sum.Add(&pl.ctr)
+	}
+	return sum
+}
+
 // Bank is the collection of independent per-user fading processes for a
 // cell, backed by one shared fading plane.
 type Bank struct {
@@ -288,6 +299,10 @@ func (b *Bank) User(i int) *Fading { return &b.pl.views[i] }
 
 // Advance steps every user's channel by dt in one batch over the plane.
 func (b *Bank) Advance(dt sim.Time) { b.pl.advanceAll(dt) }
+
+// Obs returns the bank's plane-level lazy-replay counters. Read only
+// from the goroutine driving the bank's cell, or after it has quiesced.
+func (b *Bank) Obs() *obs.SimCounters { return &b.pl.ctr }
 
 // TracePoint is one sample of a recorded fading trace (Fig. 5 style).
 type TracePoint struct {

@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"charisma/internal/mathx"
+	"charisma/internal/obs"
 	"charisma/internal/rng"
 	"charisma/internal/sim"
 )
@@ -98,6 +99,10 @@ type plane struct {
 	prevStep []int64
 
 	views []Fading
+
+	// ctr counts lazy-replay catch-ups. Plain adds on the goroutine that
+	// owns the plane's cell — see package obs.
+	ctr obs.SimCounters
 }
 
 func newPlane(n int) *plane {
@@ -226,6 +231,8 @@ func (pl *plane) advanceUserSteps(i int, dt sim.Time, n int) {
 	if n <= 0 {
 		return
 	}
+	pl.ctr.ChannelCatchUps++
+	pl.ctr.ChannelCatchUpSteps += uint64(n)
 	if dt < 0 {
 		panic("channel: negative time step")
 	}

@@ -16,6 +16,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"charisma/internal/channel"
 	"charisma/internal/mac"
@@ -24,9 +25,11 @@ import (
 	"charisma/internal/mac/dtdma"
 	"charisma/internal/mac/rama"
 	"charisma/internal/mac/rmav"
+	"charisma/internal/obs"
 	"charisma/internal/phy"
 	"charisma/internal/rng"
 	"charisma/internal/sim"
+	"charisma/internal/trace"
 	"charisma/internal/traffic"
 )
 
@@ -224,9 +227,14 @@ type runArena struct {
 	speeds   []float64
 	vp       traffic.VoiceParams
 	dp       traffic.DataParams
+
+	// used marks an arena that has hosted at least one run; a pool hit
+	// on a used arena is a warm reuse (see arenaReuses).
+	used bool
 }
 
 func newRunArena() *runArena {
+	arenaBuilds.Add(1)
 	a := &runArena{
 		probe:  rng.New(0),
 		slab:   channel.NewSlab(),
@@ -237,6 +245,22 @@ func newRunArena() *runArena {
 }
 
 var arenaPool = sync.Pool{New: func() any { return newRunArena() }}
+
+// Arena traffic counters: pool hits versus fresh constructions. Atomics,
+// not SimCounters fields — Run executes on whatever goroutine RunMany
+// gave it, so these are genuinely concurrent. One add per replication is
+// far off the per-event hot path.
+var arenaReuses, arenaBuilds atomic.Uint64
+
+// ArenaObs folds the process-wide arena pool counters into a SimCounters
+// snapshot (the rest of the fields are zero — per-run engine/registry/
+// plane counters live on their components).
+func ArenaObs() obs.SimCounters {
+	return obs.SimCounters{
+		ArenaReuses: arenaReuses.Load(),
+		ArenaBuilds: arenaBuilds.Load(),
+	}
+}
 
 // stream returns the cached per-slot stream, re-seeded exactly as
 // rng.DeriveIndexed(a.seed, label, i) would seed a fresh one.
@@ -412,6 +436,11 @@ func (sc Scenario) buildIn(a *runArena) (*mac.System, mac.Protocol, error) {
 // runs (a sweep's replications) recycle their predecessors' allocations.
 func (sc Scenario) Run() (mac.Result, error) {
 	a := arenaPool.Get().(*runArena)
+	if a.used {
+		arenaReuses.Add(1)
+	} else {
+		a.used = true
+	}
 	res, err := sc.runIn(a)
 	arenaPool.Put(a)
 	return res, err
@@ -433,6 +462,19 @@ func (sc Scenario) runIn(a *runArena) (mac.Result, error) {
 		a.eng.Reset()
 	}
 	eng := a.eng
+	if frames, _ := trace.FlightArmed(); frames > 0 {
+		label := fmt.Sprintf("%s seed=%d", sc.Protocol, sc.Seed)
+		fl := trace.AttachFlight(sys, frames, label)
+		defer fl.Close()
+		// A panic anywhere in the frame loop dumps the ring before
+		// unwinding — the post-mortem the recorder exists for.
+		defer func() {
+			if r := recover(); r != nil {
+				fl.Dump(fmt.Sprintf("panic: %v", r))
+				panic(r)
+			}
+		}()
+	}
 	marked := false
 	// One recurring event drives the TDMA cadence; the step returns each
 	// frame's (possibly variable) duration as the delay to the next tick,

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"charisma/internal/mac"
 )
@@ -31,10 +32,27 @@ func NewCache(dir string) Cache {
 	return Tiered(NewMemCache(), DiskCache{Dir: dir})
 }
 
+// CacheStats is a point-in-time snapshot of a cache stack's hit/miss
+// traffic, split by tier. Caches that can report stats implement
+// StatsReporter; /metrics renders whatever the session's cache exposes.
+type CacheStats struct {
+	MemHits    uint64
+	MemMisses  uint64 // mem-tier misses (may still hit disk below)
+	DiskHits   uint64
+	DiskMisses uint64
+}
+
+// StatsReporter is implemented by caches that count their traffic.
+type StatsReporter interface {
+	Stats() CacheStats
+}
+
 // MemCache is a concurrency-safe in-memory cache.
 type MemCache struct {
 	mu sync.RWMutex
 	m  map[string]mac.Result
+
+	hits, misses atomic.Uint64
 }
 
 // NewMemCache returns an empty in-memory cache.
@@ -45,9 +63,19 @@ func NewMemCache() *MemCache {
 // Get implements Cache.
 func (c *MemCache) Get(key string) (mac.Result, bool) {
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	r, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return r, ok
+}
+
+// Stats implements StatsReporter.
+func (c *MemCache) Stats() CacheStats {
+	return CacheStats{MemHits: c.hits.Load(), MemMisses: c.misses.Load()}
 }
 
 // Put implements Cache.
@@ -126,30 +154,47 @@ func (c DiskCache) Put(key string, r mac.Result) {
 }
 
 // tiered reads through fast to slow, promoting slow hits, and writes both.
+// Pointer type: the slow-tier counters must survive the Cache interface
+// value being copied around.
 type tiered struct {
 	fast *MemCache
 	slow Cache
+
+	slowHits, slowMisses atomic.Uint64
 }
 
 // Tiered layers an in-memory cache over a slower backing cache.
 func Tiered(fast *MemCache, slow Cache) Cache {
-	return tiered{fast: fast, slow: slow}
+	return &tiered{fast: fast, slow: slow}
 }
 
 // Get implements Cache.
-func (t tiered) Get(key string) (mac.Result, bool) {
+func (t *tiered) Get(key string) (mac.Result, bool) {
 	if r, ok := t.fast.Get(key); ok {
 		return r, true
 	}
 	r, ok := t.slow.Get(key)
 	if ok {
+		t.slowHits.Add(1)
 		t.fast.Put(key, r)
+	} else {
+		t.slowMisses.Add(1)
 	}
 	return r, ok
 }
 
 // Put implements Cache.
-func (t tiered) Put(key string, r mac.Result) {
+func (t *tiered) Put(key string, r mac.Result) {
 	t.fast.Put(key, r)
 	t.slow.Put(key, r)
+}
+
+// Stats implements StatsReporter: the mem tier's own traffic plus the
+// disk tier's hits/misses (a disk hit implies a mem miss that was then
+// promoted).
+func (t *tiered) Stats() CacheStats {
+	s := t.fast.Stats()
+	s.DiskHits = t.slowHits.Load()
+	s.DiskMisses = t.slowMisses.Load()
+	return s
 }

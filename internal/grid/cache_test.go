@@ -82,7 +82,7 @@ func TestNewCacheSelectsStack(t *testing.T) {
 	if _, ok := NewCache("").(*MemCache); !ok {
 		t.Fatal("empty dir should build a memory-only cache")
 	}
-	if _, ok := NewCache(t.TempDir()).(tiered); !ok {
+	if _, ok := NewCache(t.TempDir()).(*tiered); !ok {
 		t.Fatal("dir should build a tiered cache")
 	}
 }

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,6 +52,7 @@ const maxResultBody = 1 << 20
 //	               (accepted or discarded as stale) | 409 stale session
 //	GET  /progress → 200 Progress snapshot | 204 no session attached
 //	GET  /stats  → 200 {Executed, CacheHits, Requeues, Done}
+//	GET  /metrics → 200 Prometheus text exposition (see metrics.go)
 //
 // One server outlives its sessions: a multi-sweep run attaches each
 // sweep's session in turn and workers keep polling across the gaps.
@@ -64,11 +67,24 @@ type Server struct {
 	// strands its in-flight tasks until the coordinator is cancelled.
 	LeaseTTL time.Duration
 
+	// Log receives structured protocol events (session attach, task
+	// claims at debug level) when non-nil; set before serving. Attach
+	// also propagates it to the session's scheduler events.
+	Log *slog.Logger
+
 	mu     sync.Mutex
 	sess   *Session
 	sessID string
 	seq    int
 	closed bool
+
+	// Protocol counters exported by /metrics (atomics: handlers run on
+	// arbitrary HTTP goroutines).
+	tasksServed     atomic.Uint64 // tasks dispatched via GET /task
+	heartbeats      atomic.Uint64 // successful lease renewals
+	beatConflicts   atomic.Uint64 // heartbeats answered 409
+	resultsAccepted atomic.Uint64 // POST /result answered 204
+	resultsRejected atomic.Uint64 // POST /result answered 4xx
 }
 
 // NewServer returns a server with no session attached (workers poll 204
@@ -84,6 +100,10 @@ func (sv *Server) Attach(s *Session) {
 	sv.seq++
 	sv.sess = s
 	sv.sessID = "s" + strconv.Itoa(sv.seq)
+	if sv.Log != nil {
+		s.SetLogger(sv.Log)
+		sv.Log.Info("session attached", "session", sv.sessID, "serial", s.Serial())
+	}
 }
 
 // Close makes /task answer 410 so polling workers drain and exit.
@@ -112,10 +132,16 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
-		t, ok, _ := sess.TryClaim(r.URL.Query().Get("worker"), sv.LeaseTTL)
+		worker := r.URL.Query().Get("worker")
+		t, ok, _ := sess.TryClaim(worker, sv.LeaseTTL)
 		if !ok {
 			w.WriteHeader(http.StatusNoContent)
 			return
+		}
+		sv.tasksServed.Add(1)
+		if sv.Log != nil {
+			sv.Log.Debug("task dispatched", "session", id, "worker", worker,
+				"lease", t.Lease, "point", t.Point, "rep", t.Rep)
 		}
 		writeJSON(w, wireTask{Session: id, LeaseMS: sv.LeaseTTL.Milliseconds(), Task: t})
 
@@ -127,9 +153,11 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		sess, id, _ := sv.current()
 		if sess == nil || hb.Session != id || !sess.Renew(hb.Lease, sv.LeaseTTL) {
+			sv.beatConflicts.Add(1)
 			http.Error(w, "lease superseded", http.StatusConflict)
 			return
 		}
+		sv.heartbeats.Add(1)
 		w.WriteHeader(http.StatusNoContent)
 
 	case r.Method == http.MethodPost && r.URL.Path == "/result":
@@ -140,6 +168,7 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		sess, id, _ := sv.current()
 		if sess == nil || res.Session != id {
+			sv.resultsRejected.Add(1)
 			http.Error(w, "stale session", http.StatusConflict)
 			return
 		}
@@ -147,9 +176,11 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// the worker is answered 204 either way — there is nothing it
 		// should retry.
 		if err := sess.Complete(res.TaskResult); err != nil {
+			sv.resultsRejected.Add(1)
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		sv.resultsAccepted.Add(1)
 		w.WriteHeader(http.StatusNoContent)
 
 	case r.Method == http.MethodGet && r.URL.Path == "/progress":
@@ -173,6 +204,9 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				sess.Executed(), sess.CacheHits(), sess.Requeues(), sess.Done()
 		}
 		writeJSON(w, st)
+
+	case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+		sv.serveMetrics(w)
 
 	default:
 		http.NotFound(w, r)

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"charisma/internal/mac"
+	"charisma/internal/obs"
+	"charisma/internal/prof"
 	"charisma/internal/run"
 	"charisma/internal/stats"
 )
@@ -83,6 +86,7 @@ type pointState struct {
 	completed int // replications resolved (success or failure)
 	failed    int
 	settled   bool // no further growth; completed == scheduled
+	anomaly   bool // CI95 still past target at the replication cap (reported once)
 	results   []mac.Result
 	ok        []bool
 	errs      []error
@@ -95,11 +99,12 @@ type pointState struct {
 // (remote dispatch) must be renewed via Renew before its deadline or the
 // task is re-queued and the lease superseded.
 type lease struct {
-	id       int64
-	task     Task
-	key      string
-	worker   string
-	deadline time.Time
+	id        int64
+	task      Task
+	key       string
+	worker    string
+	deadline  time.Time
+	claimedAt time.Time // lease creation; feeds the rep-duration histogram
 }
 
 // sessionSerial numbers sessions process-wide so progress consumers can
@@ -151,7 +156,19 @@ type Session struct {
 	hits     int
 	requeues int
 	closed   bool
+
+	// log receives structured scheduling events (lease expiry re-queues,
+	// sweep-point anomalies) when set via SetLogger; nil stays silent.
+	log *slog.Logger
+	// repDur observes wall-clock seconds from lease claim to accepted
+	// completion — the per-task replication-duration histogram /metrics
+	// exports.
+	repDur *obs.Histogram
 }
+
+// repDurBuckets are the fixed rep-duration buckets (seconds). Replications
+// span ~10 ms loopback microsweeps to minutes-long million-station points.
+var repDurBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
 
 // NewSession validates and hashes every point, resolves the initial
 // replications against the cache, and queues the misses. Identical
@@ -174,6 +191,7 @@ func NewSession(points []Point, cache Cache, prec Precision) (*Session, error) {
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.progCond = sync.NewCond(&s.mu)
+	s.repDur = obs.NewHistogram(repDurBuckets...)
 	for j, pt := range points {
 		if err := pt.Spec.Validate(); err != nil {
 			return nil, fmt.Errorf("grid: point %d: %w", j, err)
@@ -285,6 +303,20 @@ func (s *Session) nextTarget(j int) int {
 	}
 	repCap := s.prec.repCap()
 	if st.scheduled >= repCap {
+		// A point pinned at the cap whose CI95 still misses the target is
+		// the sweep anomaly the flight recorder wants a post-mortem for:
+		// something in this parameter corner has pathological variance.
+		// Report once per point; the growth decision itself stays a pure
+		// function of the completed results.
+		if !st.anomaly && st.failed == 0 && st.completed >= 2 && !s.converged(st) {
+			st.anomaly = true
+			if s.log != nil {
+				s.log.Warn("sweep point hit replication cap without converging",
+					"session", s.serial, "point", j, "reps", st.scheduled)
+			}
+			// Detached: DumpAll must not run under s.mu.
+			go prof.DumpAll(fmt.Sprintf("sweep-anomaly: point %d at rep cap %d", j, repCap))
+		}
 		return st.scheduled
 	}
 	if st.failed > 0 {
@@ -386,9 +418,9 @@ func (s *Session) claim(worker string, ttl time.Duration) (Task, bool) {
 	key := s.repKey(t.Point, t.Rep)
 	delete(s.avoid, key)
 	s.leaseSeq++
-	l := &lease{id: s.leaseSeq, key: key, worker: worker}
+	l := &lease{id: s.leaseSeq, key: key, worker: worker, claimedAt: time.Now()}
 	if ttl > 0 {
-		l.deadline = time.Now().Add(ttl)
+		l.deadline = l.claimedAt.Add(ttl)
 	}
 	t.Lease = l.id
 	l.task = t
@@ -460,6 +492,11 @@ func (s *Session) expireOverdue(now time.Time) {
 		s.queue = append(s.queue, t)
 		s.requeues++
 		changed = true
+		if s.log != nil {
+			s.log.Warn("lease expired, task re-queued",
+				"session", s.serial, "worker", l.worker, "lease", id,
+				"point", t.Point, "rep", t.Rep, "held", now.Sub(l.claimedAt))
+		}
 	}
 	if changed {
 		s.cond.Broadcast() // re-queued work: wake blocked claimers
@@ -560,6 +597,9 @@ func (s *Session) Complete(r TaskResult) error {
 		}
 		delete(s.leases, r.Lease)
 		delete(s.avoid, key)
+		if !l.claimedAt.IsZero() {
+			s.repDur.Observe(time.Since(l.claimedAt).Seconds())
+		}
 	}
 	refs := s.inflight[key]
 	delete(s.inflight, key)
@@ -659,6 +699,30 @@ func (s *Session) Requeues() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.requeues
+}
+
+// Serial returns the process-wide session serial number.
+func (s *Session) Serial() int64 { return s.serial }
+
+// SetLogger directs the session's structured scheduling events (lease
+// expiries, anomalies) to l; nil silences them.
+func (s *Session) SetLogger(l *slog.Logger) {
+	s.mu.Lock()
+	s.log = l
+	s.mu.Unlock()
+}
+
+// RepDurations returns the session's claim-to-completion duration
+// histogram (seconds, fixed buckets). Safe for concurrent reads.
+func (s *Session) RepDurations() *obs.Histogram { return s.repDur }
+
+// CacheStats returns the hit/miss traffic of the session's cache stack,
+// when the cache counts it (ok false otherwise).
+func (s *Session) CacheStats() (CacheStats, bool) {
+	if sr, ok := s.cache.(StatsReporter); ok {
+		return sr.Stats(), true
+	}
+	return CacheStats{}, false
 }
 
 // Replications returns how many replications point j settled on — the

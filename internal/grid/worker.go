@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"charisma/internal/run"
@@ -47,6 +49,61 @@ type Worker struct {
 	MaxIdle time.Duration
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
+	// Log receives structured lifecycle events (claims, abandons, exit)
+	// tagged with the worker ID; nil discards them.
+	Log *slog.Logger
+	// Stats, when non-nil, is updated live as the worker runs — the
+	// backing store for cmd/charisma-worker's stats endpoint. Run installs
+	// a private one when nil so internal counting never branches.
+	Stats *WorkerStats
+}
+
+// WorkerStats counts one worker process's traffic. All fields are
+// atomics: the worker runs Parallel loops concurrently. Read a coherent
+// view via Snapshot.
+type WorkerStats struct {
+	Claimed     atomic.Uint64 // tasks accepted from /task
+	Completed   atomic.Uint64 // results posted (or abandoned as stale after execution)
+	Abandoned   atomic.Uint64 // tasks dropped because the lease was superseded
+	CacheHits   atomic.Uint64 // tasks served from the worker-local cache
+	CacheMisses atomic.Uint64 // tasks that missed the worker-local cache
+	beats       atomic.Uint64 // successful heartbeat round-trips
+	beatNanos   atomic.Uint64 // cumulative heartbeat round-trip time
+}
+
+func (s *WorkerStats) observeBeat(d time.Duration) {
+	s.beats.Add(1)
+	s.beatNanos.Add(uint64(d))
+}
+
+// WorkerStatsSnapshot is one JSON-friendly view of a WorkerStats —
+// what cmd/charisma-worker serves from its stats endpoint.
+type WorkerStatsSnapshot struct {
+	Claimed        uint64  `json:"claimed"`
+	Completed      uint64  `json:"completed"`
+	Abandoned      uint64  `json:"abandoned"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	Heartbeats     uint64  `json:"heartbeats"`
+	HeartbeatAvgMS float64 `json:"heartbeat_avg_ms"` // mean round-trip, milliseconds
+}
+
+// Snapshot returns the current counter values. Counters are read
+// individually, so a snapshot taken mid-update may be skewed by one
+// in-flight task — fine for monitoring.
+func (s *WorkerStats) Snapshot() WorkerStatsSnapshot {
+	snap := WorkerStatsSnapshot{
+		Claimed:     s.Claimed.Load(),
+		Completed:   s.Completed.Load(),
+		Abandoned:   s.Abandoned.Load(),
+		CacheHits:   s.CacheHits.Load(),
+		CacheMisses: s.CacheMisses.Load(),
+		Heartbeats:  s.beats.Load(),
+	}
+	if snap.Heartbeats > 0 {
+		snap.HeartbeatAvgMS = float64(s.beatNanos.Load()) / float64(snap.Heartbeats) / 1e6
+	}
+	return snap
 }
 
 // Run polls for tasks until the coordinator reports it has closed (410),
@@ -59,6 +116,15 @@ func (w Worker) Run(ctx context.Context) error {
 		host, _ := os.Hostname()
 		w.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	// Normalize the optional observability fields once on this copy so the
+	// per-loop code counts and logs unconditionally.
+	if w.Stats == nil {
+		w.Stats = new(WorkerStats)
+	}
+	if w.Log == nil {
+		w.Log = slog.New(slog.DiscardHandler)
+	}
+	w.Log = w.Log.With("worker", w.ID)
 	base := strings.TrimSuffix(w.Coordinator, "/")
 	n := w.Parallel
 	if n < 1 {
@@ -97,12 +163,14 @@ func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll
 		wt, status, err := w.fetchTask(ctx, client, base)
 		switch {
 		case status == http.StatusGone:
+			w.Log.Info("coordinator closed, exiting")
 			return nil
 		case err != nil || status == http.StatusNoContent:
 			if w.MaxIdle > 0 && time.Since(idleSince) > w.MaxIdle {
 				if err != nil {
 					return fmt.Errorf("grid: worker gave up after %v idle: %w", w.MaxIdle, err)
 				}
+				w.Log.Info("idle limit reached, exiting", "max_idle", w.MaxIdle)
 				return nil
 			}
 			if serr := sleepCtx(ctx, poll); serr != nil {
@@ -110,15 +178,22 @@ func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll
 			}
 		case status == http.StatusOK:
 			idleSince = time.Now()
+			w.Stats.Claimed.Add(1)
+			w.Log.Debug("task claimed",
+				"session", wt.Session, "lease", wt.Lease, "point", wt.Point, "rep", wt.Rep)
 			res, lost := w.executeLeased(ctx, client, base, wt)
 			if lost {
 				// The lease was superseded mid-execution; the result
 				// would be discarded, so don't bother posting it.
+				w.Stats.Abandoned.Add(1)
+				w.Log.Warn("lease superseded mid-execution, task abandoned",
+					"session", wt.Session, "lease", wt.Lease, "point", wt.Point, "rep", wt.Rep)
 				continue
 			}
 			if perr := postResult(ctx, client, base, res); perr != nil {
 				return perr
 			}
+			w.Stats.Completed.Add(1)
 		default:
 			return fmt.Errorf("grid: coordinator answered %d to /task", status)
 		}
@@ -149,7 +224,12 @@ func (w Worker) executeLeased(ctx context.Context, client *http.Client, base str
 				// Transport errors are tolerated: a momentary coordinator
 				// hiccup should not make the worker abandon real work.
 				// Only an explicit 409 does.
-				if ok, err := postBeat(hbCtx, client, base, wt.Session, wt.Lease); err == nil && !ok {
+				start := time.Now()
+				ok, err := postBeat(hbCtx, client, base, wt.Session, wt.Lease)
+				if err == nil && w.Stats != nil {
+					w.Stats.observeBeat(time.Since(start))
+				}
+				if err == nil && !ok {
 					close(superseded)
 					return
 				}
@@ -179,8 +259,14 @@ func (w Worker) execute(wt wireTask) wireResult {
 		if h, err := wt.Spec.Hash(); err == nil {
 			key = RepKey(h, run.RepSeed(wt.Spec.BaseSeed(), wt.Rep))
 			if r, ok := w.Cache.Get(key); ok {
+				if w.Stats != nil {
+					w.Stats.CacheHits.Add(1)
+				}
 				out.Result = r
 				return out
+			}
+			if w.Stats != nil {
+				w.Stats.CacheMisses.Add(1)
 			}
 		}
 	}

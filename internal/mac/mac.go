@@ -7,6 +7,7 @@ import (
 
 	"charisma/internal/channel"
 	"charisma/internal/frame"
+	"charisma/internal/obs"
 	"charisma/internal/phy"
 	"charisma/internal/rng"
 	"charisma/internal/sim"
@@ -321,7 +322,25 @@ type System struct {
 	// outcome counts). Used by calibration diagnostics and tests; nil in
 	// production runs.
 	DebugVoiceTx func(st *Station, m phy.Mode, estAmp float64, estAge sim.Time, ok, errs int)
+
+	// DebugEndFrame, when non-nil, observes every completed frame with
+	// the duration the protocol consumed. The flight recorder
+	// (internal/trace) attaches here; nil in production runs, so the
+	// frame path pays one predictable branch.
+	DebugEndFrame func(dur sim.Time)
+
+	// ctr is the system's block of hot-path observability counters
+	// (wheel arms/cascades/wakes, epoch bumps, candidate cache
+	// hits/misses). Plain uint64 adds on the owning goroutine — see
+	// package obs for the synchronization contract.
+	ctr obs.SimCounters
 }
+
+// Obs returns the system's registry/wheel/candidate-cache counters.
+// Cumulative across ResetLazy (a pooled arena reports totals over every
+// replication it hosted); read only from the driving goroutine or after
+// it has quiesced.
+func (s *System) Obs() *obs.SimCounters { return &s.ctr }
 
 // NewSystem assembles a system. The caller supplies stations wired to their
 // fading processes and traffic sources.
@@ -336,7 +355,7 @@ func NewSystem(cfg Config, modem phy.PHY, stations []*Station, macStream *rng.St
 		return nil, fmt.Errorf("mac: nil MAC stream")
 	}
 	s := &System{Cfg: cfg, PHY: modem, Stations: stations, Rand: macStream}
-	s.reg.reset(len(stations))
+	s.reg.reset(len(stations), &s.ctr)
 	for i, st := range stations {
 		st.slot = int32(i)
 		b := classify(st)
@@ -395,7 +414,8 @@ func (s *System) ResetLazy(cfg Config, modem phy.PHY, n int, macStream *rng.Stre
 	s.now, s.frameIdx, s.lastDur = 0, 0, 0
 	s.queue = s.queue[:0]
 	s.DebugVoiceTx = nil
-	s.reg.reset(n)
+	s.DebugEndFrame = nil
+	s.reg.reset(n, &s.ctr)
 	if cap(s.stnSlab) >= n {
 		s.stnSlab = s.stnSlab[:n]
 	} else {
@@ -569,6 +589,9 @@ func (s *System) EndFrame(dur sim.Time) {
 	}
 	s.frameIdx++
 	s.lastDur = dur
+	if s.DebugEndFrame != nil {
+		s.DebugEndFrame(dur)
+	}
 }
 
 // syncChannel replays the per-frame fading steps a station has deferred

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"charisma/internal/obs"
 	"charisma/internal/sim"
 )
 
@@ -157,7 +158,9 @@ type registry struct {
 // reset (re-)initializes the registry for an n-station cell, reusing any
 // already-allocated slab capacity — the replication-arena path rebuilds
 // the registry with zero allocations when the population size repeats.
-func (r *registry) reset(n int) {
+// ctr is the owning System's counter block; the wheel writes its
+// arm/cascade counts there.
+func (r *registry) reset(n int, ctr *obs.SimCounters) {
 	words := (n + 63) / 64
 	for b := range r.sets {
 		if cap(r.sets[b]) >= words {
@@ -181,6 +184,7 @@ func (r *registry) reset(n int) {
 		r.chSync = make([]int32, n)
 	}
 	r.wheel.reset(n, r.stamp)
+	r.wheel.ctr = ctr
 	r.epoch = 1
 	r.candEpoch = 0
 	r.candScratch = r.candScratch[:0]
@@ -284,6 +288,7 @@ func (s *System) Reindex(st *Station) {
 		}
 		if s.reg.candEpoch == s.reg.epoch {
 			s.reg.epoch++ // the flip outdates a currently-valid cache
+			s.ctr.EpochBumps++
 		}
 	}
 	if old := st.bucket(); b != old {
@@ -324,6 +329,7 @@ func (s *System) armWake(st *Station) {
 func (s *System) wakeDue() {
 	due := s.reg.wheel.collectDue(s.now, s.reg.wakeScratch[:0])
 	s.reg.wakeScratch = due[:0]
+	s.ctr.WheelWakes += uint64(len(due))
 	for _, slot := range due {
 		st := s.Stations[slot]
 		if st.flags&flagDeferred != 0 {
@@ -386,6 +392,7 @@ func (s *System) appendIn(dst []*Station, mask bucketMask) []*Station {
 func (s *System) ForEachCandidate(fn func(*Station)) {
 	r := &s.reg
 	if r.candEpoch != r.epoch {
+		s.ctr.CandMisses++
 		r.candScratch = r.candScratch[:0]
 		s.forEachIn(maskContention, func(st *Station) {
 			if s.NeedsVoiceRequest(st) || s.NeedsDataRequest(st) {
@@ -396,6 +403,8 @@ func (s *System) ForEachCandidate(fn func(*Station)) {
 			}
 		})
 		r.candEpoch = r.epoch
+	} else {
+		s.ctr.CandHits++
 	}
 	for _, st := range r.candScratch {
 		fn(st)

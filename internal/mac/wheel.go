@@ -3,6 +3,7 @@ package mac
 import (
 	"math/bits"
 
+	"charisma/internal/obs"
 	"charisma/internal/sim"
 )
 
@@ -79,6 +80,12 @@ type timerWheel struct {
 	// scratch detaches a draining bucket during cascade so re-placement
 	// can append to any bucket (including the one being drained).
 	scratch []int32
+
+	// ctr receives the wheel's arm/cascade counts. reset points it at a
+	// private block so a standalone wheel (tests) counts somewhere;
+	// registry.reset re-points it at the owning System's block. Never
+	// nil after reset, so the hot paths increment unconditionally.
+	ctr *obs.SimCounters
 }
 
 // reset (re-)initializes the wheel for an n-station cell, truncating any
@@ -108,6 +115,9 @@ func (w *timerWheel) reset(n int, stamp []sim.Time) {
 	}
 	w.stamp = stamp
 	w.scratch = w.scratch[:0]
+	if w.ctr == nil {
+		w.ctr = new(obs.SimCounters)
+	}
 }
 
 // armed reports whether a station has a live entry.
@@ -137,6 +147,7 @@ func (w *timerWheel) add(s int32, at sim.Time) {
 	w.loc[s] = uint16(level*wheelSlots + slot)
 	*b = append(*b, s)
 	w.count++
+	w.ctr.WheelArms++
 }
 
 // remove drops station s's live entry in O(1) by swapping the bucket tail
@@ -217,6 +228,7 @@ func (w *timerWheel) cascade(g sim.Time) {
 		if len(*b) == 0 {
 			continue
 		}
+		w.ctr.WheelCascades++
 		// Detach the entries before re-placing: a conservatively-early
 		// entry may land back in this very bucket, so appending while
 		// ranging over the bucket's own backing array would corrupt it.

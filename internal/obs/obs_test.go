@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSimCountersAddCoversAll sets every field to a distinct value via
+// reflection and checks Add folds each one in — so adding a counter
+// without extending Add is a test failure, not a silent zero.
+func TestSimCountersAddCoversAll(t *testing.T) {
+	var src SimCounters
+	v := reflect.ValueOf(&src).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Uint64 {
+			t.Fatalf("field %s: SimCounters must hold only uint64 fields", v.Type().Field(i).Name)
+		}
+		v.Field(i).SetUint(uint64(i + 1))
+	}
+	var dst SimCounters
+	dst.Add(&src)
+	dst.Add(&src)
+	d := reflect.ValueOf(&dst).Elem()
+	for i := 0; i < d.NumField(); i++ {
+		if got, want := d.Field(i).Uint(), uint64(2*(i+1)); got != want {
+			t.Errorf("field %s: got %d after two Adds, want %d (Add is missing it?)",
+				d.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+2+100; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	h.WritePrometheus(&b, "x")
+	out := b.String()
+	for _, line := range []string{
+		`x_bucket{le="0.1"} 2`, // 0.05 and the boundary value 0.1
+		`x_bucket{le="1"} 3`,
+		`x_bucket{le="10"} 4`,
+		`x_bucket{le="+Inf"} 5`,
+		"x_count 5",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1, 2, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), float64(8*1000/5*(0+1+2+3+4)); got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHistogram(2,1) did not panic")
+		}
+	}()
+	NewHistogram(2, 1)
+}

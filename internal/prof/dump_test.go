@@ -1,0 +1,139 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOnDumpCancelAndOrder(t *testing.T) {
+	var got []string
+	c1 := OnDump("first", func(reason string) { got = append(got, "first:"+reason) })
+	c2 := OnDump("second", func(reason string) { got = append(got, "second:"+reason) })
+	defer c2()
+	c1()
+	c1() // cancel is idempotent
+	DumpAll("why")
+	if len(got) != 1 || got[0] != "second:why" {
+		t.Fatalf("dumps ran %v, want only second:why", got)
+	}
+}
+
+func TestDumpAllContainsPanics(t *testing.T) {
+	ran := false
+	c1 := OnDump("boom", func(string) { panic("boom") })
+	c2 := OnDump("after", func(string) { ran = true })
+	defer c1()
+	defer c2()
+	DumpAll("x") // must not propagate the panic
+	if !ran {
+		t.Fatal("a panicking dump prevented later dumps from running")
+	}
+}
+
+// TestSIGQUITHandlerDumpsAndFlushes raises SIGQUIT against the test
+// process with the exit replaced by a test hook: the handler must run
+// the registered dumps with reason "sigquit", then the exit-path
+// flushes, then the hook (instead of os.Exit).
+func TestSIGQUITHandlerDumpsAndFlushes(t *testing.T) {
+	dumped := make(chan string, 1)
+	flushed := make(chan struct{}, 1)
+	exited := make(chan struct{}, 1)
+
+	cancel := OnDump("test", func(reason string) { dumped <- reason })
+	defer cancel()
+	dumpMu.Lock()
+	exitFns = append(exitFns, func() {
+		select {
+		case flushed <- struct{}{}:
+		default:
+		}
+	})
+	testHook = func() {
+		select {
+		case exited <- struct{}{}:
+		default:
+		}
+	}
+	dumpMu.Unlock()
+	defer func() {
+		dumpMu.Lock()
+		testHook = nil
+		dumpMu.Unlock()
+	}()
+
+	InstallDumpHandler()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+
+	wait := func(name string, ok func() bool) {
+		deadline := time.After(5 * time.Second)
+		for !ok() {
+			select {
+			case <-deadline:
+				t.Fatalf("SIGQUIT handler never reached %s", name)
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	var reason string
+	wait("dump", func() bool {
+		select {
+		case reason = <-dumped:
+			return true
+		default:
+			return false
+		}
+	})
+	if reason != "sigquit" {
+		t.Fatalf("dump reason %q, want sigquit", reason)
+	}
+	wait("flush", func() bool {
+		select {
+		case <-flushed:
+			return true
+		default:
+			return false
+		}
+	})
+	wait("exit hook", func() bool {
+		select {
+		case <-exited:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+func TestStartStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // second call must be a no-op, not a double-flush
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s not written: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartRejectsBadPath(t *testing.T) {
+	_, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), "")
+	if err == nil || !strings.Contains(err.Error(), "cpu") {
+		t.Fatalf("Start with unwritable cpu path: err = %v", err)
+	}
+}

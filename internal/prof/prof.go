@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // Start begins CPU profiling into cpuPath (when non-empty) and arms a heap
@@ -36,30 +37,38 @@ func Start(cpuPath, memPath string) (stop func(), err error) {
 			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
 		}
 	}
-	done := false
-	return func() {
-		if done {
-			return
+	var once sync.Once
+	stop = func() {
+		once.Do(func() { flush(cpuFile, memPath) })
+	}
+	// A SIGQUIT mid-run still produces complete profiles: the shared dump
+	// handler flushes them on its exit path, after the flight-recorder
+	// dumps (see dump.go).
+	InstallDumpHandler()
+	onExit(stop)
+	return stop, nil
+}
+
+// flush ends the CPU profile and writes the heap snapshot; called exactly
+// once per Start (via the stop closure's sync.Once).
+func flush(cpuFile *os.File, memPath string) {
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
 		}
-		done = true
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "prof: close cpu profile:", err)
-			}
-		}
-		if memPath == "" {
-			return
-		}
-		f, err := os.Create(memPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "prof:", err)
-			return
-		}
-		defer f.Close()
-		runtime.GC() // materialize the final live set
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
-		}
-	}, nil
+	}
+	if memPath == "" {
+		return
+	}
+	f, err := os.Create(memPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prof:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC() // materialize the final live set
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "prof: write heap profile:", err)
+	}
 }

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"slices"
+
+	"charisma/internal/obs"
 )
 
 // Handler is a callback executed when an event fires. It receives the
@@ -56,6 +58,7 @@ type Engine struct {
 	batch    []int32 // scratch: arena indices of one timestamp's cohort
 	stack    []int32 // scratch: DFS stack of heap positions
 	byseq    func(a, b int32) int
+	ctr      obs.SimCounters
 }
 
 // maxTime is the largest representable timestamp; Run uses it as the
@@ -73,6 +76,17 @@ func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports how many events are scheduled and not yet fired.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Obs returns the engine's dispatch counters. EngineEvents mirrors
+// Executed and is synchronized here at read time, so the hot paths never
+// maintain a duplicate count. The counters are cumulative across Reset
+// (a pooled arena reports totals over every replication it hosted) and
+// must only be read from the goroutine driving the engine, or after it
+// has quiesced.
+func (e *Engine) Obs() *obs.SimCounters {
+	e.ctr.EngineEvents = e.executed
+	return &e.ctr
+}
 
 func (e *Engine) alloc() int32 {
 	if n := len(e.free); n > 0 {
@@ -366,6 +380,7 @@ func (e *Engine) drainDetached(t Time) int {
 	}
 	slices.SortFunc(e.batch, e.byseq)
 	e.now = t
+	e.ctr.EngineBatchDetach++
 	fired := 0
 	for _, idx := range e.batch {
 		nd := &e.nodes[idx]
@@ -443,6 +458,9 @@ func (e *Engine) StepBatch() int {
 			}
 		}
 	}
+	if fired > 0 {
+		e.ctr.EngineBatches++
+	}
 	return fired
 }
 
@@ -454,6 +472,7 @@ func (e *Engine) StepBatch() int {
 // false when the lane ended for any other reason: the driver stopped, or
 // a callback scheduled additional events.
 func (e *Engine) runSolo(limit Time) bool {
+	e.ctr.EngineSoloLane++
 	idx := e.heap[0]
 	nd := &e.nodes[idx]
 	for {

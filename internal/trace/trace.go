@@ -34,9 +34,18 @@ type Recorder struct {
 	sys *mac.System
 	// Events holds the raw log in arrival order.
 	Events []VoiceTx
-	// Cap bounds memory; 0 means unlimited. When full, recording stops.
+	// Cap bounds memory; 0 means unlimited. When full, recording stops
+	// and Dropped counts what was lost.
 	Cap int
+	// Dropped counts events that arrived after the cap was reached. A
+	// truncated trace is still useful for its aggregate shapes, but the
+	// views must say it is partial — Render reports this count.
+	Dropped int
 }
+
+// Truncated reports whether the recorder hit its cap and how many events
+// were lost past it.
+func (r *Recorder) Truncated() (dropped int) { return r.Dropped }
 
 // Attach installs the recorder on a system's debug hook and returns it.
 // Any previously installed hook is replaced.
@@ -44,6 +53,7 @@ func Attach(sys *mac.System, cap int) *Recorder {
 	r := &Recorder{sys: sys, Cap: cap}
 	sys.DebugVoiceTx = func(st *mac.Station, m phy.Mode, estAmp float64, estAge sim.Time, ok, errs int) {
 		if r.Cap > 0 && len(r.Events) >= r.Cap {
+			r.Dropped++
 			return
 		}
 		r.Events = append(r.Events, VoiceTx{
@@ -178,6 +188,10 @@ func (r *Recorder) PerStation() []StationSummary {
 // Render writes a human-readable trace digest.
 func (r *Recorder) Render(w io.Writer, frame sim.Time) {
 	fmt.Fprintf(w, "trace: %d voice transmissions, mean mode %.2f\n", len(r.Events), r.MeanMode())
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "  TRUNCATED: %d further transmissions dropped at cap %d — aggregates below are partial\n",
+			r.Dropped, r.Cap)
+	}
 	hist := r.ModeHistogram()
 	var modes []int
 	for m := range hist {

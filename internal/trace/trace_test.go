@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"strings"
@@ -7,9 +7,10 @@ import (
 	"charisma/internal/core"
 	"charisma/internal/mac"
 	"charisma/internal/sim"
+	"charisma/internal/trace"
 )
 
-func record(t *testing.T, nv int, frames int, cap int) (*Recorder, *mac.System) {
+func record(t *testing.T, nv int, frames int, cap int) (*trace.Recorder, *mac.System) {
 	t.Helper()
 	sc := core.DefaultScenario(core.ProtoCharisma)
 	sc.NumVoice = nv
@@ -18,7 +19,7 @@ func record(t *testing.T, nv int, frames int, cap int) (*Recorder, *mac.System) 
 		t.Fatal(err)
 	}
 	proto.Init(sys)
-	r := Attach(sys, cap)
+	r := trace.Attach(sys, cap)
 	for i := 0; i < frames; i++ {
 		sys.BeginFrame()
 		sys.EndFrame(proto.RunFrame(sys))
@@ -48,6 +49,32 @@ func TestRecorderCap(t *testing.T) {
 	r, _ := record(t, 20, 3000, 10)
 	if len(r.Events) > 10 {
 		t.Fatalf("cap ignored: %d events", len(r.Events))
+	}
+}
+
+// TestRecorderSurfacesTruncation: hitting the cap is not silent — the
+// dropped count is exposed and the rendered digest warns that its
+// aggregates are partial.
+func TestRecorderSurfacesTruncation(t *testing.T) {
+	r, sys := record(t, 20, 3000, 10)
+	if got := r.Truncated(); got == 0 || got != r.Dropped {
+		t.Fatalf("Truncated() = %d, Dropped = %d; want equal and > 0", got, r.Dropped)
+	}
+	var sb strings.Builder
+	r.Render(&sb, sys.FrameDuration())
+	if !strings.Contains(sb.String(), "TRUNCATED") {
+		t.Fatalf("digest of a truncated recording carries no warning:\n%s", sb.String())
+	}
+
+	// An uncapped recording reports no truncation and no warning.
+	r2, sys2 := record(t, 20, 500, 0)
+	if r2.Truncated() != 0 {
+		t.Fatalf("uncapped recorder reports %d dropped", r2.Truncated())
+	}
+	sb.Reset()
+	r2.Render(&sb, sys2.FrameDuration())
+	if strings.Contains(sb.String(), "TRUNCATED") {
+		t.Fatal("uncapped digest carries a truncation warning")
 	}
 }
 
@@ -97,7 +124,7 @@ func TestTaxonomyPartitionsEvents(t *testing.T) {
 }
 
 func TestAgeBucketString(t *testing.T) {
-	for _, b := range []AgeBucket{AgeFresh, AgeAging, AgeStale} {
+	for _, b := range []trace.AgeBucket{trace.AgeFresh, trace.AgeAging, trace.AgeStale} {
 		if b.String() == "" {
 			t.Fatal("empty bucket name")
 		}
@@ -143,7 +170,7 @@ func TestDetachStopsRecording(t *testing.T) {
 		t.Fatal(err)
 	}
 	proto.Init(sys)
-	r := Attach(sys, 0)
+	r := trace.Attach(sys, 0)
 	for i := 0; i < 500; i++ {
 		sys.BeginFrame()
 		sys.EndFrame(proto.RunFrame(sys))
@@ -169,7 +196,7 @@ func TestRecordingDoesNotPerturbResults(t *testing.T) {
 		}
 		proto.Init(sys)
 		if attach {
-			Attach(sys, 0)
+			trace.Attach(sys, 0)
 		}
 		for i := 0; i < 2000; i++ {
 			sys.BeginFrame()

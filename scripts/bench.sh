@@ -23,8 +23,9 @@ out=${BENCH_OUT:-BENCH_${pr}.json}
 # event engine's steady state and equal-timestamp batch dispatch (PR 7),
 # the CHARISMA frame path over an active cell (request free list, PR 5),
 # the idle-wake cycle over a 10⁵-station lazy cell (timer wheel, PR 6),
-# and the warm-arena replication setup (PR 7).
-ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule|EngineStepBatch|CharismaFrame|IdleWakeCell|ReplicationSetup)$'
+# the warm-arena replication setup (PR 7), and the frame path with a live
+# obs.SimCounters read per frame (PR 8 — observability must be free).
+ZERO_ALLOC='^(ChannelBankFrame|ChannelBankQuery|ChannelReplayCatchUp|FadingAdvance|ModeSelection|EngineSchedule|EngineStepBatch|CharismaFrame|IdleWakeCell|ReplicationSetup|ObsOffFrame)$'
 
 # Population-scaling ceiling: resident heap per idle station at 10⁵
 # stations (the same budget TestMillionStationMemoryBudget pins at 10⁶).
@@ -35,7 +36,7 @@ case "$mode" in
     raw=$(mktemp)
     trap 'rm -f "$raw"' EXIT
     go test -run '^$' -benchtime 1x -benchmem -timeout 10m \
-      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$|BenchmarkEngineStepBatch|BenchmarkCharismaFrame|BenchmarkIdleWakeCell' \
+      -bench 'BenchmarkChannelBank|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkEngineSchedule$|BenchmarkEngineStepBatch|BenchmarkCharismaFrame|BenchmarkObsOffFrame|BenchmarkIdleWakeCell' \
       . | tee "$raw"
     # The 10⁵ population point runs separately: its sub-bench pattern would
     # otherwise filter the flat benchmarks above.
@@ -52,7 +53,7 @@ case "$mode" in
     trap 'rm -f "$raw"' EXIT
     # Substrate microbenches: repeated samples for a stable min/median.
     go test -run '^$' -count "${BENCH_COUNT:-5}" -benchmem -timeout 60m \
-      -bench 'BenchmarkChannelBankFrame|BenchmarkChannelBankQuery|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkCharismaFrame|BenchmarkScenarioRun|BenchmarkEngineSchedule$|BenchmarkEngineStepBatch|BenchmarkSimulatedSecondAllProtocols|BenchmarkIdleWakeCell' \
+      -bench 'BenchmarkChannelBankFrame|BenchmarkChannelBankQuery|BenchmarkChannelReplayCatchUp|BenchmarkFadingAdvance|BenchmarkModeSelection|BenchmarkCharismaFrame|BenchmarkObsOffFrame|BenchmarkScenarioRun|BenchmarkEngineSchedule$|BenchmarkEngineStepBatch|BenchmarkSimulatedSecondAllProtocols|BenchmarkIdleWakeCell' \
       . | tee "$raw"
     go test -run '^$' -count "${BENCH_COUNT:-5}" -benchmem -timeout 60m \
       -bench 'BenchmarkReplicationSetup' ./internal/core | tee -a "$raw"
