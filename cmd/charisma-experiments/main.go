@@ -27,6 +27,10 @@
 //	    # fault tolerance: a worker that stops heartbeating for 30 s is
 //	    # presumed dead and its tasks are re-queued — the sweep completes
 //	    # with byte-identical results regardless of crash timing
+//	charisma-experiments -exp fig11a -listen :9123 -audit-frac 0.1
+//	    # byzantine defense: 10% of remote results are re-executed
+//	    # locally and byte-compared; a worker whose result diverges is
+//	    # quarantined and everything it produced is re-done honestly
 //
 // While a sweep runs, live per-point progress streams to stderr (one
 // line per point as its replications settle, with partial aggregates and
@@ -68,6 +72,7 @@ func main() {
 		listen     = flag.String("listen", "", "serve grid tasks to remote charisma-worker processes on this address")
 		remoteOnly = flag.Bool("remote-only", false, "no local simulation: all work done by remote workers (requires -listen)")
 		leaseTTL   = flag.Duration("lease-ttl", 30*time.Second, "re-queue a remote worker's tasks after this long without heartbeats (0 = never expire)")
+		auditFrac  = flag.Float64("audit-frac", 0, "re-execute this fraction of remote results locally; quarantine workers whose results diverge (byzantine defense)")
 		progress   = flag.Bool("progress", true, "render live per-point sweep progress to stderr as replications settle")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -105,8 +110,9 @@ func main() {
 	// One cache for the whole process: the in-memory tier spans panels,
 	// so figures that sweep identical scenarios (Fig. 12/13) share
 	// replications even without -cache-dir.
-	rc.Cache = grid.NewCache(*cacheDir)
+	rc.Cache = grid.NewCacheLogged(*cacheDir, slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	rc.PrecisionRel = *precision
+	rc.AuditFrac = *auditFrac
 	rc.MaxReplications = *maxReps
 	rc.Stats = &grid.SweepStats{}
 	if *progress {

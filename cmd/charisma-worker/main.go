@@ -30,6 +30,13 @@
 // cache hits/misses, mean heartbeat round-trip) at GET /stats.
 // -flight-recorder N keeps the last N frames of every replication in a
 // ring that is dumped as JSONL on panic or SIGQUIT.
+//
+// Chaos: -chaos-seed and -chaos-rates arm internal/chaos's deterministic
+// fault injector on this worker — wire faults on every coordinator
+// request (drop, delay, dup, trunc, err500, err503), lying results
+// (lie), and startup corruption of the local -cache-dir (cacheflip,
+// cachetrunc, cachedeny). For resilience testing only: a lying worker
+// exists to be caught by the coordinator's -audit-frac defense.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"charisma/internal/chaos"
 	"charisma/internal/grid"
 	"charisma/internal/trace"
 )
@@ -60,6 +68,8 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "stderr log level: debug, info, warn, error")
 		flightN     = flag.Int("flight-recorder", 0, "keep the last N frames of each replication; dump JSONL on panic/SIGQUIT")
 		flightPath  = flag.String("flight-path", "charisma-flight.jsonl", "flight-recorder dump file (JSONL, appended)")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "seed for the deterministic fault injector (with -chaos-rates)")
+		chaosRates  = flag.String("chaos-rates", "", "fault rates, e.g. drop=0.05,dup=0.02,err500=0.1,lie=1 (testing only)")
 	)
 	flag.Parse()
 
@@ -67,6 +77,11 @@ func main() {
 
 	if *coordinator == "" {
 		log.Error("-coordinator is required")
+		os.Exit(2)
+	}
+	rates, err := chaos.ParseRates(*chaosRates)
+	if err != nil {
+		log.Error("bad -chaos-rates", "err", err)
 		os.Exit(2)
 	}
 	if *flightN > 0 {
@@ -97,11 +112,26 @@ func main() {
 		Coordinator: *coordinator,
 		ID:          *id,
 		Parallel:    *parallel,
-		Cache:       grid.NewCache(*cacheDir),
+		Cache:       grid.NewCacheLogged(*cacheDir, log),
 		Poll:        *poll,
 		MaxIdle:     *maxIdle,
 		Log:         log,
 		Stats:       stats,
+	}
+	var plan *chaos.Plan
+	if rates.Active() {
+		plan = chaos.NewPlan(*chaosSeed, rates)
+		w.Client = &http.Client{Timeout: 30 * time.Second, Transport: plan.Transport(nil)}
+		w.CorruptResult = plan.CorruptResult
+		if *cacheDir != "" {
+			if cf, cerr := plan.InjectCacheFaults(*cacheDir); cerr != nil {
+				log.Warn("cache fault injection failed", "err", cerr)
+			} else if cf.Entries > 0 {
+				log.Warn("chaos perturbed local cache",
+					"entries", cf.Entries, "flipped", cf.Flipped, "truncated", cf.Trunced, "denied", cf.Denied)
+			}
+		}
+		log.Warn("chaos armed", "seed", *chaosSeed, "rates", *chaosRates)
 	}
 	log.Info("worker starting", "coordinator", *coordinator, "parallel", *parallel)
 	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
@@ -112,6 +142,9 @@ func main() {
 	log.Info("worker done",
 		"claimed", snap.Claimed, "completed", snap.Completed, "abandoned", snap.Abandoned,
 		"cache_hits", snap.CacheHits, "cache_misses", snap.CacheMisses)
+	if plan != nil {
+		log.Info("chaos summary", "injected", plan.Counts().String())
+	}
 }
 
 func parseLevel(s string) slog.Level {

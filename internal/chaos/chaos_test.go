@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"charisma/internal/mac"
+)
+
+func TestParseRates(t *testing.T) {
+	r, err := ParseRates("drop=0.05, dup=0.02,err500=0.1,lie=1,delayms=40,cacheflip=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drop != 0.05 || r.Dup != 0.02 || r.Err500 != 0.1 || r.Lie != 1 ||
+		r.CacheFlip != 0.5 || r.DelayMax != 40*time.Millisecond {
+		t.Fatalf("parsed %+v", r)
+	}
+	if !r.Active() {
+		t.Fatal("non-zero rates report inactive")
+	}
+	if r, err := ParseRates(""); err != nil || r.Active() {
+		t.Fatalf("empty rates: %+v, %v", r, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "drop=-0.1", "bogus=0.5", "delayms=-1"} {
+		if _, err := ParseRates(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	// A typo'd key must name the valid ones, not silently disarm.
+	_, err = ParseRates("dorp=0.5")
+	if err == nil || !strings.Contains(err.Error(), "drop") {
+		t.Fatalf("unknown-key error %v does not list valid keys", err)
+	}
+}
+
+// TestPlanDeterministicPerSeed: the same (seed, rates) yields the same
+// fault schedule; a different seed diverges. This is what makes a chaos
+// failure replayable.
+func TestPlanDeterministicPerSeed(t *testing.T) {
+	rates := Rates{Drop: 0.3, Dup: 0.2, Trunc: 0.1, Err500: 0.25}
+	draw := func(seed int64) []wireFaults {
+		p := NewPlan(seed, rates)
+		out := make([]wireFaults, 64)
+		for i := range out {
+			out[i] = p.drawWire()
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	c := draw(43)
+	same, differs := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+// TestRateIsolation: raising one class's rate must not reshuffle another
+// class's schedule — each draws from its own substream.
+func TestRateIsolation(t *testing.T) {
+	drops := func(r Rates) []bool {
+		p := NewPlan(7, r)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.drawWire().drop
+		}
+		return out
+	}
+	a := drops(Rates{Drop: 0.3})
+	b := drops(Rates{Drop: 0.3, Dup: 0.9, Err500: 0.9, Trunc: 0.9, Delay: 0.9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("drop schedule shifted at %d when other rates changed", i)
+		}
+	}
+}
+
+func chaosClient(p *Plan) *http.Client {
+	return &http.Client{Transport: p.Transport(nil), Timeout: 5 * time.Second}
+}
+
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer hs.Close()
+	p := NewPlan(1, Rates{Drop: 1})
+	_, err := chaosClient(p).Get(hs.URL)
+	if err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("dropped request returned %v, want an injected chaos error", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if p.Counts().Drops != 1 {
+		t.Fatalf("counts: %+v", p.Counts())
+	}
+}
+
+func TestTransportInjects5xx(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer hs.Close()
+	for _, tc := range []struct {
+		rates Rates
+		want  int
+	}{
+		{Rates{Err500: 1}, 500},
+		{Rates{Err503: 1}, 503},
+	} {
+		resp, err := chaosClient(NewPlan(1, tc.rates)).Get(hs.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("injected status %d, want %d", resp.StatusCode, tc.want)
+		}
+	}
+	if hits.Load() != 0 {
+		t.Fatal("synthesized 5xx still forwarded the request")
+	}
+}
+
+func TestTransportDuplicates(t *testing.T) {
+	var bodies []string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer hs.Close()
+	p := NewPlan(1, Rates{Dup: 1})
+	resp, err := chaosClient(p).Post(hs.URL, "application/json", strings.NewReader(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(bodies) != 2 || bodies[0] != bodies[1] {
+		t.Fatalf("server saw %q, want the same body twice", bodies)
+	}
+	if p.Counts().Dups != 1 {
+		t.Fatalf("counts: %+v", p.Counts())
+	}
+}
+
+func TestTransportTruncates(t *testing.T) {
+	const body = "0123456789"
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	defer hs.Close()
+	resp, err := chaosClient(NewPlan(1, Rates{Trunc: 1})).Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body[:len(body)/2] {
+		t.Fatalf("truncated body %q, want %q", got, body[:len(body)/2])
+	}
+}
+
+func TestTransportDelays(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer hs.Close()
+	p := NewPlan(1, Rates{Delay: 1, DelayMax: 2 * time.Millisecond})
+	resp, err := chaosClient(p).Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if p.Counts().Delays != 1 {
+		t.Fatalf("counts: %+v", p.Counts())
+	}
+}
+
+// TestCorruptResult: at lie=1 every result is perturbed — plausibly, not
+// into garbage — and at lie=0 results pass through untouched.
+func TestCorruptResult(t *testing.T) {
+	base := mac.Result{DataThroughputPerFrame: 2, DataDelivered: 800, VoiceLossRate: 0.01, VoiceDropped: 10, MeanDataDelaySec: 0.2}
+	r := base
+	NewPlan(1, Rates{Lie: 1}).CorruptResult(0, 0, &r)
+	if r == base {
+		t.Fatal("lie=1 left the result untouched")
+	}
+	if r.DataThroughputPerFrame <= base.DataThroughputPerFrame || r.VoiceLossRate >= base.VoiceLossRate {
+		t.Fatalf("lie is not flattering: %+v", r)
+	}
+	r = base
+	NewPlan(1, Rates{}).CorruptResult(0, 0, &r)
+	if r != base {
+		t.Fatal("lie=0 corrupted a result")
+	}
+}

@@ -62,6 +62,10 @@ type RunConfig struct {
 	// RemoteOnly skips the in-process loopback workers: all simulation is
 	// done by workers attached through Server.
 	RemoteOnly bool
+	// AuditFrac re-executes this fraction of remotely produced results
+	// locally and quarantines any worker whose result diverges —
+	// byzantine-result defense (see grid.Audit). Zero disables auditing.
+	AuditFrac float64
 	// Stats, when non-nil, accumulates simulated/cache-hit counts across
 	// the sweeps of this config.
 	Stats *grid.SweepStats
@@ -161,6 +165,7 @@ func (rc RunConfig) runScenarios(ctx context.Context, scs []core.Scenario) ([]ma
 		Workers:    rc.Workers,
 		Server:     rc.Server,
 		RemoteOnly: rc.RemoteOnly,
+		Audit:      grid.Audit{Frac: rc.AuditFrac, Seed: rc.Seed},
 		Stats:      rc.Stats,
 		OnProgress: rc.OnProgress,
 	})

@@ -2,6 +2,9 @@ package grid
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -20,16 +23,25 @@ type Cache interface {
 	// Put stores the result for key. Put is best-effort: storage errors
 	// degrade to future misses, never to failures.
 	Put(key string, r mac.Result)
+	// Delete evicts key from every tier. The byzantine-audit path uses it
+	// to purge results produced by a quarantined worker before they can
+	// poison a future sweep; like Put it is best-effort.
+	Delete(key string)
 }
 
 // NewCache builds the standard cache stack: in-memory only when dir is
 // empty, otherwise an in-memory cache tiered over an on-disk one rooted at
 // dir (the -cache-dir layout: dir/<key[:2]>/<key>.json).
-func NewCache(dir string) Cache {
+func NewCache(dir string) Cache { return NewCacheLogged(dir, nil) }
+
+// NewCacheLogged is NewCache with an operator log: the disk tier reports
+// its degradation (an unwritable cache directory disables disk writes,
+// once) to log instead of failing silently. A nil log stays silent.
+func NewCacheLogged(dir string, log *slog.Logger) Cache {
 	if dir == "" {
 		return NewMemCache()
 	}
-	return Tiered(NewMemCache(), DiskCache{Dir: dir})
+	return Tiered(NewMemCache(), NewDiskCache(dir, log))
 }
 
 // CacheStats is a point-in-time snapshot of a cache stack's hit/miss
@@ -40,6 +52,12 @@ type CacheStats struct {
 	MemMisses  uint64 // mem-tier misses (may still hit disk below)
 	DiskHits   uint64
 	DiskMisses uint64
+	// DiskCorrupt counts entries that failed their integrity check and
+	// were quarantined (renamed <key>.corrupt) instead of being served.
+	DiskCorrupt uint64
+	// DiskPutErrors counts failed disk writes; enough consecutive
+	// failures disable the disk tier's writes (reads keep working).
+	DiskPutErrors uint64
 }
 
 // StatsReporter is implemented by caches that count their traffic.
@@ -85,6 +103,13 @@ func (c *MemCache) Put(key string, r mac.Result) {
 	c.mu.Unlock()
 }
 
+// Delete implements Cache.
+func (c *MemCache) Delete(key string) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}
+
 // Len returns the number of cached replications.
 func (c *MemCache) Len() int {
 	c.mu.RLock()
@@ -92,13 +117,72 @@ func (c *MemCache) Len() int {
 	return len(c.m)
 }
 
+// diskEntry is the on-disk envelope (format v2): the result's canonical
+// JSON plus a CRC-32C over those exact bytes. The checksum turns silent
+// disk corruption — a flipped bit inside a float's digits still parses as
+// valid JSON — into a detected, quarantined entry instead of a wrong
+// result served as a hit. v1 entries (bare mac.Result JSON, no checksum)
+// fail the check and are quarantined too: re-simulating beats trusting an
+// unverifiable byte-stream.
+type diskEntry struct {
+	Sum    string          `json:"sum"` // CRC-32C (Castagnoli) of Result, hex
+	Result json.RawMessage `json:"result"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func entrySum(body []byte) string {
+	return fmt.Sprintf("%08x", crc32.Checksum(body, crcTable))
+}
+
+// diskState carries the optional mutable half of a DiskCache: degradation
+// and quarantine counters shared by every copy of the value. A zero
+// DiskCache (literal construction) has none and simply skips counting and
+// degradation.
+type diskState struct {
+	corrupt   atomic.Uint64
+	putErrs   atomic.Uint64
+	consecPut atomic.Uint32
+	disabled  atomic.Bool
+	logOnce   sync.Once
+	log       *slog.Logger
+}
+
+// diskDisableAfter is how many consecutive write failures flip the disk
+// tier to read-only degradation: one failure may be transient (ENOSPC
+// racing a cleanup), a streak means the directory is gone or unwritable.
+const diskDisableAfter = 3
+
 // DiskCache persists replication results under Dir, sharded by the first
 // two hex digits of the key so directories stay small on wide sweeps.
 // Writes are atomic (temp file + rename), so a killed sweep never leaves a
-// truncated entry behind; unreadable or corrupt entries read as misses.
+// truncated entry behind. Every entry carries a CRC-32C; an entry that
+// fails its integrity check is quarantined — renamed to <key>.corrupt for
+// post-mortem and counted in CacheStats — instead of being re-read (and
+// re-missed, or worse, silently served wrong) on every future run.
+//
+// When constructed via NewDiskCache, the cache degrades gracefully if its
+// directory stops accepting writes (volume remounted read-only, quota
+// hit): after a few consecutive write failures it logs once, stops
+// writing, and keeps serving reads — the memory tier above it carries the
+// session onward.
 type DiskCache struct {
 	Dir string
+
+	s *diskState
 }
+
+// NewDiskCache returns a disk cache rooted at dir with degradation and
+// quarantine counting armed; log (optional) receives the one-time
+// degradation warning.
+func NewDiskCache(dir string, log *slog.Logger) DiskCache {
+	return DiskCache{Dir: dir, s: &diskState{log: log}}
+}
+
+// EntryPath returns where key's entry lives on disk, for tools that
+// inspect or perturb the cache from outside (the chaos fault injector).
+// ok is false for keys the cache would refuse.
+func (c DiskCache) EntryPath(key string) (string, bool) { return c.path(key) }
 
 func (c DiskCache) path(key string) (string, bool) {
 	// Keys are hex hashes; refuse anything that could walk the tree.
@@ -118,39 +202,110 @@ func (c DiskCache) Get(key string) (mac.Result, bool) {
 	if err != nil {
 		return mac.Result{}, false
 	}
+	var e diskEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Sum != entrySum(e.Result) {
+		c.quarantine(p, key)
+		return mac.Result{}, false
+	}
 	var r mac.Result
-	if err := json.Unmarshal(b, &r); err != nil {
+	if err := json.Unmarshal(e.Result, &r); err != nil {
+		c.quarantine(p, key)
 		return mac.Result{}, false
 	}
 	return r, true
 }
 
+// quarantine moves a corrupt entry aside as <key>.corrupt — it stops
+// being re-read as a miss on every run, stays available for post-mortem,
+// and a fresh Put of the key lands in a clean file.
+func (c DiskCache) quarantine(p, key string) {
+	if err := os.Rename(p, filepath.Join(filepath.Dir(p), key+".corrupt")); err != nil {
+		// Can't rename (read-only dir): best effort, the entry stays a miss.
+		_ = err
+	}
+	if c.s != nil {
+		c.s.corrupt.Add(1)
+		if c.s.log != nil {
+			c.s.log.Warn("corrupt cache entry quarantined", "key", key, "path", p+" -> "+key+".corrupt")
+		}
+	}
+}
+
 // Put implements Cache.
 func (c DiskCache) Put(key string, r mac.Result) {
+	if c.s != nil && c.s.disabled.Load() {
+		return
+	}
+	err := c.put(key, r)
+	if c.s == nil {
+		return
+	}
+	if err == nil {
+		c.s.consecPut.Store(0)
+		return
+	}
+	c.s.putErrs.Add(1)
+	if c.s.consecPut.Add(1) >= diskDisableAfter {
+		c.s.disabled.Store(true)
+		c.s.logOnce.Do(func() {
+			if c.s.log != nil {
+				c.s.log.Warn("cache dir unwritable, disk tier degraded to read-only; serving from memory",
+					"dir", c.Dir, "err", err)
+			}
+		})
+	}
+}
+
+func (c DiskCache) put(key string, r mac.Result) error {
 	p, ok := c.path(key)
 	if !ok {
-		return
+		return nil // refused key, not a disk failure
 	}
-	b, err := json.Marshal(r)
+	body, err := json.Marshal(r)
 	if err != nil {
-		return
+		return nil
+	}
+	b, err := json.Marshal(diskEntry{Sum: entrySum(body), Result: body})
+	if err != nil {
+		return nil
 	}
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return
+		return err
 	}
 	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key+".*")
 	if err != nil {
-		return
+		return err
 	}
 	_, werr := tmp.Write(b)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return
+		if werr != nil {
+			return werr
+		}
+		return cerr
 	}
 	if err := os.Rename(tmp.Name(), p); err != nil {
 		os.Remove(tmp.Name())
+		return err
 	}
+	return nil
+}
+
+// Delete implements Cache.
+func (c DiskCache) Delete(key string) {
+	if p, ok := c.path(key); ok {
+		_ = os.Remove(p)
+	}
+}
+
+// Stats implements StatsReporter with the disk-side counters; the tiered
+// wrapper above fills in hit/miss traffic.
+func (c DiskCache) Stats() CacheStats {
+	if c.s == nil {
+		return CacheStats{}
+	}
+	return CacheStats{DiskCorrupt: c.s.corrupt.Load(), DiskPutErrors: c.s.putErrs.Load()}
 }
 
 // tiered reads through fast to slow, promoting slow hits, and writes both.
@@ -189,12 +344,24 @@ func (t *tiered) Put(key string, r mac.Result) {
 	t.slow.Put(key, r)
 }
 
+// Delete implements Cache.
+func (t *tiered) Delete(key string) {
+	t.fast.Delete(key)
+	t.slow.Delete(key)
+}
+
 // Stats implements StatsReporter: the mem tier's own traffic plus the
 // disk tier's hits/misses (a disk hit implies a mem miss that was then
-// promoted).
+// promoted) and, when the slow tier counts them, its quarantine and
+// write-failure totals.
 func (t *tiered) Stats() CacheStats {
 	s := t.fast.Stats()
 	s.DiskHits = t.slowHits.Load()
 	s.DiskMisses = t.slowMisses.Load()
+	if sr, ok := t.slow.(StatsReporter); ok {
+		ss := sr.Stats()
+		s.DiskCorrupt = ss.DiskCorrupt
+		s.DiskPutErrors = ss.DiskPutErrors
+	}
 	return s
 }

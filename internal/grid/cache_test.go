@@ -1,10 +1,15 @@
 package grid
 
 import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
 	"os"
 	"path/filepath"
-	"reflect"
+	"strings"
 	"testing"
+
+	"reflect"
 
 	"charisma/internal/core"
 	"charisma/internal/mac"
@@ -84,5 +89,165 @@ func TestNewCacheSelectsStack(t *testing.T) {
 	}
 	if _, ok := NewCache(t.TempDir()).(*tiered); !ok {
 		t.Fatal("dir should build a tiered cache")
+	}
+}
+
+// TestDiskCacheQuarantinesCorruptEntry: an entry that fails its
+// integrity check is renamed to <key>.corrupt (kept for post-mortem),
+// counted, and never re-read as a miss — a fresh Put of the key lands
+// in a clean file.
+func TestDiskCacheQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	c := NewDiskCache(dir, nil)
+	key := RepKey("deadbeef", 1)
+	c.Put(key, realResult(t))
+	p, _ := c.EntryPath(key)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x01
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not moved out of the read path")
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(p), key+".corrupt")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if n := c.Stats().DiskCorrupt; n != 1 {
+		t.Fatalf("DiskCorrupt = %d, want 1", n)
+	}
+	// A second Get is a plain miss — the quarantined file is not
+	// re-detected (and re-counted) forever.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit after quarantine")
+	}
+	if n := c.Stats().DiskCorrupt; n != 1 {
+		t.Fatalf("DiskCorrupt re-counted: %d", n)
+	}
+	// The key is writable again.
+	want := realResult(t)
+	c.Put(key, want)
+	got, ok := c.Get(key)
+	if !ok || !reflect.DeepEqual(want, got) {
+		t.Fatal("fresh put after quarantine did not round-trip")
+	}
+}
+
+// TestDiskCacheChecksumCatchesSilentCorruption: a flipped digit inside
+// the result JSON still parses — only the CRC envelope can tell. The
+// entry must be detected and quarantined, never served.
+func TestDiskCacheChecksumCatchesSilentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c := NewDiskCache(dir, nil)
+	key := RepKey("cafebabe", 2)
+	c.Put(key, realResult(t))
+	p, _ := c.EntryPath(key)
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e diskEntry
+	if err := json.Unmarshal(b, &e); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb one digit of the payload, keeping the entry valid JSON with
+	// the original (now wrong) checksum.
+	digits := "0123456789"
+	i := bytes.IndexAny(e.Result, digits)
+	if i < 0 {
+		t.Fatal("no digit to perturb")
+	}
+	e.Result[i] = digits[(strings.IndexByte(digits, e.Result[i])+1)%10]
+	b2, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, b2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("silently corrupted entry served as hit")
+	}
+	if n := c.Stats().DiskCorrupt; n != 1 {
+		t.Fatalf("DiskCorrupt = %d, want 1", n)
+	}
+}
+
+// TestDiskCacheLegacyEntryQuarantined: a v1 entry (bare result JSON, no
+// checksum envelope) is unverifiable — quarantined, not trusted.
+func TestDiskCacheLegacyEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	c := NewDiskCache(dir, nil)
+	key := RepKey("0ddba11", 3)
+	p, _ := c.EntryPath(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(mac.Result{Protocol: "v1"})
+	if err := os.WriteFile(p, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("unverifiable legacy entry served as hit")
+	}
+	if n := c.Stats().DiskCorrupt; n != 1 {
+		t.Fatalf("DiskCorrupt = %d, want 1", n)
+	}
+}
+
+// TestDiskCacheDegradesWhenUnwritable: when the cache directory stops
+// accepting writes, the disk tier counts the failures, logs exactly
+// once, and stops trying — it degrades instead of spamming errors on
+// every Put. (The unwritable dir is simulated by rooting the cache
+// under a regular file — ENOTDIR — which fails for root too, unlike
+// chmod.)
+func TestDiskCacheDegradesWhenUnwritable(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	c := NewDiskCache(filepath.Join(blocker, "cache"), log)
+	for i := 0; i < diskDisableAfter+3; i++ {
+		c.Put(RepKey("deadbeef", int64(i)), mac.Result{Protocol: "x"})
+	}
+	st := c.Stats()
+	if st.DiskPutErrors != diskDisableAfter {
+		t.Fatalf("DiskPutErrors = %d, want %d (writes after degradation must not be attempted)",
+			st.DiskPutErrors, diskDisableAfter)
+	}
+	if n := strings.Count(buf.String(), "degraded"); n != 1 {
+		t.Fatalf("degradation logged %d times, want exactly once\n%s", n, buf.String())
+	}
+	// Reads still answer (as misses) — the tier above carries the session.
+	if _, ok := c.Get(RepKey("deadbeef", 0)); ok {
+		t.Fatal("impossible hit from an unwritable cache")
+	}
+}
+
+// TestCacheDelete: eviction reaches both tiers, so a purged key cannot
+// resurface from disk on the next miss.
+func TestCacheDelete(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCache(dir)
+	key := RepKey("deadbeef", 9)
+	want := mac.Result{Protocol: "z"}
+	c.Put(key, want)
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("miss before delete")
+	}
+	c.Delete(key)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit after delete")
+	}
+	if _, ok := NewDiskCache(dir, nil).Get(key); ok {
+		t.Fatal("delete did not reach the disk tier")
 	}
 }

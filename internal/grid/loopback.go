@@ -22,6 +22,10 @@ type DriveConfig struct {
 	Server *Server
 	// RemoteOnly skips the loopback pool: only remote workers simulate.
 	RemoteOnly bool
+	// Audit, when enabled (Frac > 0), re-executes a seeded fraction of
+	// remotely produced results locally and quarantines any worker whose
+	// result diverges — byzantine-result defense (see Audit).
+	Audit Audit
 	// Stats, when non-nil, accumulates simulated/cache-hit counts.
 	Stats *SweepStats
 	// OnProgress, when non-nil, receives coalesced (latest-wins) progress
@@ -38,6 +42,7 @@ func RunPoints(ctx context.Context, points []Point, cfg DriveConfig) ([]mac.Resu
 	if err != nil {
 		return nil, err
 	}
+	sess.EnableAudit(cfg.Audit)
 	if cfg.Server != nil {
 		cfg.Server.Attach(sess)
 	}

@@ -59,6 +59,12 @@ func (sv *Server) serveMetrics(w http.ResponseWriter) {
 		}
 		scoped("charisma_grid_done", "gauge",
 			"1 when the attached session has settled every point.", done)
+		scoped("charisma_grid_audits_passed_total", "counter",
+			"Remote results re-executed locally and verified byte-identical.", p.AuditsPassed)
+		scoped("charisma_grid_audits_failed_total", "counter",
+			"Remote results that diverged from local re-execution.", p.AuditsFailed)
+		scoped("charisma_grid_workers_quarantined_total", "counter",
+			"Workers quarantined after a divergent (byzantine) result.", p.Quarantined)
 
 		if cs, ok := sess.CacheStats(); ok {
 			counter("charisma_grid_cache_mem_hits_total",
@@ -69,6 +75,10 @@ func (sv *Server) serveMetrics(w http.ResponseWriter) {
 				"Result-cache hits served from the on-disk tier.", cs.DiskHits)
 			counter("charisma_grid_cache_disk_misses_total",
 				"Result-cache misses falling through the on-disk tier.", cs.DiskMisses)
+			counter("charisma_grid_cache_disk_corrupt_total",
+				"Corrupt on-disk cache entries detected and quarantined.", cs.DiskCorrupt)
+			counter("charisma_grid_cache_disk_put_errors_total",
+				"Failed on-disk cache writes (disk tier degrades after repeats).", cs.DiskPutErrors)
 		}
 		if h := sess.RepDurations(); h != nil {
 			const hn = "charisma_grid_rep_duration_seconds"

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"io"
 	"log/slog"
 	"net/http"
 	"strconv"
@@ -147,7 +146,7 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	case r.Method == http.MethodPost && r.URL.Path == "/heartbeat":
 		var hb wireBeat
-		if err := json.NewDecoder(io.LimitReader(r.Body, maxResultBody)).Decode(&hb); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBody)).Decode(&hb); err != nil {
 			http.Error(w, "bad heartbeat: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -162,7 +161,7 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	case r.Method == http.MethodPost && r.URL.Path == "/result":
 		var res wireResult
-		if err := json.NewDecoder(io.LimitReader(r.Body, maxResultBody)).Decode(&res); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResultBody)).Decode(&res); err != nil {
 			http.Error(w, "bad result: "+err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -214,9 +213,22 @@ func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // ListenAndServe serves the coordinator on addr until the context is
-// cancelled.
+// cancelled. The underlying http.Server is hardened against misbehaving
+// and malicious clients: header/read/write deadlines bound every
+// connection (a slow-loris client dribbling bytes is cut off instead of
+// pinning a handler goroutine), idle keep-alives expire, and request
+// bodies are capped (see maxResultBody) — the coordinator keeps serving
+// honest workers no matter what else connects to the port.
 func (sv *Server) ListenAndServe(ctx context.Context, addr string) error {
-	srv := &http.Server{Addr: addr, Handler: sv}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           sv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    16 << 10,
+	}
 	stop := context.AfterFunc(ctx, func() { srv.Close() })
 	defer stop()
 	err := srv.ListenAndServe()

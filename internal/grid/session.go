@@ -13,6 +13,7 @@ import (
 	"charisma/internal/mac"
 	"charisma/internal/obs"
 	"charisma/internal/prof"
+	"charisma/internal/rng"
 	"charisma/internal/run"
 	"charisma/internal/stats"
 )
@@ -157,6 +158,22 @@ type Session struct {
 	requeues int
 	closed   bool
 
+	// Byzantine-result defense (see Audit / audit.go). auditCond wakes the
+	// audit executors when a remote result is parked for re-execution;
+	// delivered tracks the provenance of unaudited remote results so a
+	// quarantine can unwind them; quarantined workers get no tasks and
+	// their posts die on lease validation.
+	audit        Audit
+	auditRng     *rng.Stream
+	audits       []auditJob
+	auditing     int
+	auditCond    *sync.Cond
+	quarantined  map[string]bool
+	delivered    map[string]deliveredEntry
+	auditsPassed int
+	auditsFailed int
+	quarantines  int
+
 	// log receives structured scheduling events (lease expiry re-queues,
 	// sweep-point anomalies) when set via SetLogger; nil stays silent.
 	log *slog.Logger
@@ -188,9 +205,13 @@ func NewSession(points []Point, cache Cache, prec Precision) (*Session, error) {
 		states:   make([]*pointState, len(points)),
 		leases:   make(map[int64]*lease),
 		avoid:    make(map[string]string),
+
+		quarantined: make(map[string]bool),
+		delivered:   make(map[string]deliveredEntry),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.progCond = sync.NewCond(&s.mu)
+	s.auditCond = sync.NewCond(&s.mu)
 	s.repDur = obs.NewHistogram(repDurBuckets...)
 	for j, pt := range points {
 		if err := pt.Spec.Validate(); err != nil {
@@ -262,6 +283,12 @@ func (s *Session) scheduleRep(j, rep int) {
 		st.ok[rep] = true
 		st.completed++
 		s.hits++
+		if e, tracked := s.delivered[key]; tracked {
+			// The hit consumed an unaudited remote result; record this slot
+			// so quarantining the producer unwinds it too.
+			e.refs = append(e.refs, ref{j, rep})
+			s.delivered[key] = e
+		}
 		return
 	}
 	if refs, ok := s.inflight[key]; ok {
@@ -366,9 +393,13 @@ func (s *Session) converged(st *pointState) bool {
 	return true
 }
 
-// checkDone closes the session when every point has settled. Caller holds
-// s.mu.
+// checkDone closes the session when every point has settled and no audit
+// is parked or executing — a failed audit reopens slots, so the session
+// must outlive every outstanding verdict. Caller holds s.mu.
 func (s *Session) checkDone() {
+	if len(s.audits) > 0 || s.auditing > 0 {
+		return
+	}
 	for _, st := range s.states {
 		if !st.settled {
 			return
@@ -380,6 +411,7 @@ func (s *Session) checkDone() {
 			s.expiry.Stop()
 		}
 		s.cond.Broadcast()
+		s.auditCond.Broadcast()
 		s.bump()
 	}
 }
@@ -392,6 +424,11 @@ func (s *Session) checkDone() {
 // back to it when it is the only work left, so a lone surviving worker
 // still makes progress. Caller holds s.mu.
 func (s *Session) claim(worker string, ttl time.Duration) (Task, bool) {
+	if worker != "" && s.quarantined[worker] {
+		// A quarantined worker is never handed work again; it sees an
+		// always-empty queue and drains out via its idle limit.
+		return Task{}, false
+	}
 	if len(s.queue) == 0 {
 		return Task{}, false
 	}
@@ -574,7 +611,14 @@ func (s *Session) NextWait(ctx context.Context) (Task, bool) {
 // adaptive controller on points it completed. A result under a superseded
 // lease — the task timed out and was re-queued — is discarded before it
 // can touch the cache or the point states, as are duplicate and stray
-// deliveries, so crash timing never changes what a sweep observes.
+// deliveries and anything posted by a quarantined worker, so crash timing
+// never changes what a sweep observes.
+//
+// When auditing is enabled, a successful result delivered under a named
+// worker's lease may be parked for re-execution instead of landing
+// immediately: its key stays in flight until the audit executor either
+// verifies it (byte-identical to a local re-run) or quarantines the
+// worker (see audit.go).
 func (s *Session) Complete(r TaskResult) error {
 	if r.Point < 0 || r.Point >= len(s.points) {
 		return fmt.Errorf("grid: result for unknown point %d", r.Point)
@@ -585,25 +629,25 @@ func (s *Session) Complete(r TaskResult) error {
 	key := s.repKey(r.Point, r.Rep)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	worker := ""
 	if r.Lease != 0 {
 		l, ok := s.leases[r.Lease]
 		if !ok || l.key != key {
 			// Superseded lease: the task was re-queued (and possibly
-			// re-executed) after this worker was presumed dead. The late
-			// result would carry the same bytes — RunRep is deterministic
-			// — but exactly one delivery per key may land, so it is
-			// dropped without touching anything.
+			// re-executed) after this worker was presumed dead — or the
+			// worker was quarantined, which supersedes all its leases. The
+			// late result is dropped without touching anything: exactly one
+			// delivery per key may land.
 			return nil
 		}
+		worker = l.worker
 		delete(s.leases, r.Lease)
 		delete(s.avoid, key)
 		if !l.claimedAt.IsZero() {
 			s.repDur.Observe(time.Since(l.claimedAt).Seconds())
 		}
 	}
-	refs := s.inflight[key]
-	delete(s.inflight, key)
-	if len(refs) == 0 {
+	if _, present := s.inflight[key]; !present {
 		// Duplicate or stray delivery: drop it *before* touching the
 		// cache, so an unscheduled (point, rep) can never plant a result
 		// under a key a future sweep would legitimately look up.
@@ -625,8 +669,33 @@ func (s *Session) Complete(r TaskResult) error {
 	var taskErr error
 	if r.Err != "" {
 		taskErr = errors.New(r.Err)
-	} else {
-		s.cache.Put(key, r.Result)
+	}
+	if taskErr == nil && worker != "" && s.auditPickLocked() {
+		// Park for re-execution; the key stays in flight so duplicates
+		// still dedup and growth still joins it.
+		s.audits = append(s.audits, auditJob{key: key, point: r.Point, rep: r.Rep, worker: worker, claimed: r.Result})
+		s.auditCond.Signal()
+		return nil
+	}
+	s.deliverLocked(key, r.Result, taskErr, worker)
+	return nil
+}
+
+// deliverLocked lands one resolved key: caches a success, records its
+// provenance when it came from a (still-unaudited) remote worker, fans it
+// out to every waiting (point, rep) slot, and runs the adaptive
+// controller. Caller holds s.mu; the key must be in flight.
+func (s *Session) deliverLocked(key string, result mac.Result, taskErr error, worker string) {
+	refs := s.inflight[key]
+	delete(s.inflight, key)
+	if len(refs) == 0 {
+		return
+	}
+	if taskErr == nil {
+		s.cache.Put(key, result)
+		if worker != "" && s.audit.Enabled() {
+			s.delivered[key] = deliveredEntry{worker: worker, refs: refs}
+		}
 	}
 	s.executed++
 	var work []int
@@ -639,7 +708,7 @@ func (s *Session) Complete(r TaskResult) error {
 			st.errs = append(st.errs, fmt.Errorf("grid: point %d rep %d: %w", rf.point, rf.rep, taskErr))
 			st.failed++
 		} else {
-			st.results[rf.rep] = r.Result
+			st.results[rf.rep] = result
 			st.ok[rf.rep] = true
 		}
 		st.completed++
@@ -650,7 +719,6 @@ func (s *Session) Complete(r TaskResult) error {
 	s.settleLoop(work)
 	s.checkDone()
 	s.bump()
-	return nil
 }
 
 // Wait blocks until the session finishes or the context is cancelled.
@@ -694,11 +762,28 @@ func (s *Session) CacheHits() int {
 	return s.hits
 }
 
-// Requeues returns how many tasks were re-queued from expired leases.
+// Requeues returns how many tasks were re-queued from expired leases or
+// quarantine unwinding.
 func (s *Session) Requeues() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.requeues
+}
+
+// Quarantines returns how many workers the audit quarantined.
+func (s *Session) Quarantines() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantines
+}
+
+// Audits returns how many audited results were verified byte-identical
+// and how many diverged (each divergence quarantined a worker or
+// re-confirmed one already barred).
+func (s *Session) Audits() (passed, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auditsPassed, s.auditsFailed
 }
 
 // Serial returns the process-wide session serial number.
@@ -783,9 +868,13 @@ type Progress struct {
 	Points    []PointProgress
 	Executed  int
 	CacheHits int
-	Requeues  int // tasks re-queued from expired leases
+	Requeues  int // tasks re-queued from expired leases or quarantines
 	Leases    int // tasks currently out under a lease
-	Done      bool
+	// Byzantine-audit state (zero unless DriveConfig.Audit is enabled).
+	AuditsPassed int // remote results verified byte-identical by re-execution
+	AuditsFailed int // remote results that diverged from re-execution
+	Quarantined  int // workers barred after a divergent audit
+	Done         bool
 }
 
 // progressLocked copies the snapshot's raw state: counters plus each
@@ -795,14 +884,17 @@ type Progress struct {
 // holds s.mu.
 func (s *Session) progressLocked() (Progress, [][]mac.Result) {
 	p := Progress{
-		Session:   s.serial,
-		Version:   s.version,
-		Points:    make([]PointProgress, len(s.states)),
-		Executed:  s.executed,
-		CacheHits: s.hits,
-		Requeues:  s.requeues,
-		Leases:    len(s.leases),
-		Done:      s.closed,
+		Session:      s.serial,
+		Version:      s.version,
+		Points:       make([]PointProgress, len(s.states)),
+		Executed:     s.executed,
+		CacheHits:    s.hits,
+		Requeues:     s.requeues,
+		Leases:       len(s.leases),
+		AuditsPassed: s.auditsPassed,
+		AuditsFailed: s.auditsFailed,
+		Quarantined:  s.quarantines,
+		Done:         s.closed,
 	}
 	good := make([][]mac.Result, len(s.states))
 	for j, st := range s.states {
@@ -893,9 +985,10 @@ func (s *Session) Subscribe(ctx context.Context) <-chan Progress {
 // SweepStats accumulates grid activity across the sessions of one process
 // (a multi-panel experiments run attaches one session per sweep).
 type SweepStats struct {
-	Simulated int
-	CacheHits int
-	Requeues  int
+	Simulated   int
+	CacheHits   int
+	Requeues    int
+	Quarantined int
 }
 
 // Observe folds one finished session's counters into the stats.
@@ -903,13 +996,17 @@ func (st *SweepStats) Observe(s *Session) {
 	st.Simulated += s.Executed()
 	st.CacheHits += s.CacheHits()
 	st.Requeues += s.Requeues()
+	st.Quarantined += s.Quarantines()
 }
 
 // String renders the counters for operator output.
 func (st *SweepStats) String() string {
+	out := fmt.Sprintf("grid: %d simulated, %d cache hits", st.Simulated, st.CacheHits)
 	if st.Requeues > 0 {
-		return fmt.Sprintf("grid: %d simulated, %d cache hits, %d crash re-queues",
-			st.Simulated, st.CacheHits, st.Requeues)
+		out += fmt.Sprintf(", %d crash re-queues", st.Requeues)
 	}
-	return fmt.Sprintf("grid: %d simulated, %d cache hits", st.Simulated, st.CacheHits)
+	if st.Quarantined > 0 {
+		out += fmt.Sprintf(", %d workers quarantined", st.Quarantined)
+	}
+	return out
 }

@@ -17,6 +17,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"charisma/internal/mac"
+	"charisma/internal/rng"
 	"charisma/internal/run"
 )
 
@@ -56,6 +58,15 @@ type Worker struct {
 	// backing store for cmd/charisma-worker's stats endpoint. Run installs
 	// a private one when nil so internal counting never branches.
 	Stats *WorkerStats
+	// CorruptResult, when non-nil, is applied to every result just before
+	// it is posted — the chaos harness's lying-worker hook (exercises the
+	// coordinator's byzantine audit). It never touches the worker-local
+	// cache: the lie lives on the wire only.
+	CorruptResult func(point, rep int, r *mac.Result)
+
+	// sleep is the claim-loop's wait primitive, replaced by a virtual
+	// clock in tests so backoff schedules are assertable without walls.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // WorkerStats counts one worker process's traffic. All fields are
@@ -125,6 +136,9 @@ func (w Worker) Run(ctx context.Context) error {
 		w.Log = slog.New(slog.DiscardHandler)
 	}
 	w.Log = w.Log.With("worker", w.ID)
+	if w.sleep == nil {
+		w.sleep = sleepCtx
+	}
 	base := strings.TrimSuffix(w.Coordinator, "/")
 	n := w.Parallel
 	if n < 1 {
@@ -154,30 +168,57 @@ func (w Worker) Run(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// claimBackoffCap bounds the claim loop's transient-failure backoff: an
+// unreachable or erroring coordinator is re-probed at most this far apart
+// (MaxIdle still bounds how long the worker keeps trying at all).
+const claimBackoffCap = 15 * time.Second
+
 func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll time.Duration) error {
 	idleSince := time.Now()
+	// Transient failures (transport errors, 5xx) retry on a jittered
+	// exponential schedule; a healthy-but-idle 204 keeps the plain poll
+	// interval and resets the schedule.
+	bo := NewBackoff(poll, claimBackoffCap, rng.SeedFor(0, "claim", w.ID))
+	var lastErr error
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		wt, status, err := w.fetchTask(ctx, client, base)
+		transient := err != nil || status >= 500
 		switch {
 		case status == http.StatusGone:
 			w.Log.Info("coordinator closed, exiting")
 			return nil
-		case err != nil || status == http.StatusNoContent:
+		case transient || status == http.StatusNoContent:
+			if transient {
+				if err == nil {
+					err = fmt.Errorf("grid: coordinator answered %d to /task", status)
+				}
+				lastErr = err
+			}
 			if w.MaxIdle > 0 && time.Since(idleSince) > w.MaxIdle {
-				if err != nil {
-					return fmt.Errorf("grid: worker gave up after %v idle: %w", w.MaxIdle, err)
+				if lastErr != nil {
+					return fmt.Errorf("grid: worker gave up after %v idle: %w", w.MaxIdle, lastErr)
 				}
 				w.Log.Info("idle limit reached, exiting", "max_idle", w.MaxIdle)
 				return nil
 			}
-			if serr := sleepCtx(ctx, poll); serr != nil {
+			delay := poll
+			if transient {
+				delay = bo.Next()
+				w.Log.Debug("transient claim failure, backing off", "delay", delay, "err", err)
+			} else {
+				bo.Reset()
+				lastErr = nil
+			}
+			if serr := w.sleep(ctx, delay); serr != nil {
 				return serr
 			}
 		case status == http.StatusOK:
 			idleSince = time.Now()
+			bo.Reset()
+			lastErr = nil
 			w.Stats.Claimed.Add(1)
 			w.Log.Debug("task claimed",
 				"session", wt.Session, "lease", wt.Lease, "point", wt.Point, "rep", wt.Rep)
@@ -191,10 +232,22 @@ func (w Worker) loop(ctx context.Context, client *http.Client, base string, poll
 				continue
 			}
 			if perr := postResult(ctx, client, base, res); perr != nil {
-				return perr
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// A stranded result is recoverable — the lease lapses and
+				// the task is re-executed elsewhere — so a delivery failure
+				// abandons the task instead of killing this worker lane.
+				w.Stats.Abandoned.Add(1)
+				w.Log.Warn("result delivery failed, task abandoned",
+					"session", wt.Session, "lease", wt.Lease, "point", wt.Point, "rep", wt.Rep, "err", perr)
+				continue
 			}
 			w.Stats.Completed.Add(1)
 		default:
+			// Non-transient protocol surprise (4xx): misconfiguration, not
+			// an outage — retrying would loop forever against the wrong
+			// endpoint.
 			return fmt.Errorf("grid: coordinator answered %d to /task", status)
 		}
 	}
@@ -213,29 +266,7 @@ func (w Worker) executeLeased(ctx context.Context, client *http.Client, base str
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	superseded := make(chan struct{})
-	go func() {
-		t := time.NewTicker(interval)
-		defer t.Stop()
-		for {
-			select {
-			case <-hbCtx.Done():
-				return
-			case <-t.C:
-				// Transport errors are tolerated: a momentary coordinator
-				// hiccup should not make the worker abandon real work.
-				// Only an explicit 409 does.
-				start := time.Now()
-				ok, err := postBeat(hbCtx, client, base, wt.Session, wt.Lease)
-				if err == nil && w.Stats != nil {
-					w.Stats.observeBeat(time.Since(start))
-				}
-				if err == nil && !ok {
-					close(superseded)
-					return
-				}
-			}
-		}
-	}()
+	go w.heartbeatLoop(hbCtx, client, base, wt, interval, superseded)
 	res = w.execute(wt)
 	stopHB()
 	select {
@@ -246,14 +277,56 @@ func (w Worker) executeLeased(ctx context.Context, client *http.Client, base str
 	}
 }
 
+// heartbeatLoop renews one lease every interval until ctx is cancelled
+// or the coordinator answers 409, which closes superseded. Transport
+// errors are tolerated: a momentary coordinator hiccup should not make
+// the worker abandon real work — only an explicit 409 does. But a
+// failed renewal leaves the lease burning down, so errors retry on a
+// short jittered schedule (capped at the normal interval) instead of
+// waiting out a full interval and risking the lease lapsing behind a
+// flaky link.
+func (w Worker) heartbeatLoop(ctx context.Context, client *http.Client, base string, wt wireTask, interval time.Duration, superseded chan<- struct{}) {
+	retry := NewBackoff(interval/8, interval, rng.SeedFor(wt.Lease, "beat", w.ID))
+	t := time.NewTimer(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			start := time.Now()
+			ok, err := postBeat(ctx, client, base, wt.Session, wt.Lease)
+			switch {
+			case err != nil:
+				t.Reset(retry.Next())
+			case !ok:
+				close(superseded)
+				return
+			default:
+				w.Stats.observeBeat(time.Since(start))
+				retry.Reset()
+				t.Reset(interval)
+			}
+		}
+	}
+}
+
 // execute runs one task (or serves it from the worker-local cache) and
-// wraps the outcome for the wire.
-func (w Worker) execute(wt wireTask) wireResult {
-	out := wireResult{Session: wt.Session, TaskResult: TaskResult{Point: wt.Point, Rep: wt.Rep, Lease: wt.Lease}}
+// wraps the outcome for the wire. The named return matters: CorruptResult
+// runs in a defer so it covers the cache-hit and simulate paths alike,
+// and a defer can only reach the value actually returned through a named
+// result.
+func (w Worker) execute(wt wireTask) (out wireResult) {
+	out = wireResult{Session: wt.Session, TaskResult: TaskResult{Point: wt.Point, Rep: wt.Rep, Lease: wt.Lease}}
 	if err := wt.Spec.Validate(); err != nil {
 		out.Err = err.Error()
 		return out
 	}
+	defer func() {
+		if out.Err == "" && w.CorruptResult != nil {
+			w.CorruptResult(wt.Point, wt.Rep, &out.Result)
+		}
+	}()
 	var key string
 	if w.Cache != nil {
 		if h, err := wt.Spec.Hash(); err == nil {
@@ -333,17 +406,27 @@ func postBeat(ctx context.Context, client *http.Client, base, session string, le
 	}
 }
 
-// postResult delivers one result, retrying transient failures a few times
-// so a momentary coordinator hiccup doesn't strand a finished simulation.
+// postResultAttempts bounds delivery retries; with the jittered
+// exponential schedule the attempts span roughly two seconds of
+// coordinator outage before the task is abandoned to lease re-queueing.
+const postResultAttempts = 5
+
+// postResult delivers one result, retrying transient failures on the
+// shared jittered-exponential backoff so a momentary coordinator hiccup
+// doesn't strand a finished simulation. On exhaustion the returned error
+// carries the *last* observed failure — including the final HTTP status
+// when the coordinator answered at all — so an operator can tell a dead
+// link from a rejecting coordinator.
 func postResult(ctx context.Context, client *http.Client, base string, res wireResult) error {
 	body, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("grid: encode result: %w", err)
 	}
+	bo := NewBackoff(150*time.Millisecond, 2*time.Second, res.Lease)
 	var last error
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < postResultAttempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, time.Duration(attempt)*250*time.Millisecond); err != nil {
+			if err := sleepCtx(ctx, bo.Next()); err != nil {
 				return err
 			}
 		}
@@ -369,7 +452,7 @@ func postResult(ctx context.Context, client *http.Client, base string, res wireR
 			last = fmt.Errorf("grid: coordinator answered %d to /result", resp.StatusCode)
 		}
 	}
-	return last
+	return fmt.Errorf("grid: result delivery failed after %d attempts: %w", postResultAttempts, last)
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
