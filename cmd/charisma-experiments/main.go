@@ -12,6 +12,10 @@
 //	charisma-experiments -exp fig5
 //	charisma-experiments -exp fig7
 //	charisma-experiments -exp speed
+//	charisma-experiments -scenario panels.jsonl   # declarative sweep file
+//	    # one JSON document per line, shaped like a grid.JobSpec; sweep
+//	    # axes ({"sweep": [...]}, {"range": {...}}) expand into the cross
+//	    # product of sweep points and run as one grid session
 //
 // Sweeps run on the distributed sweep grid (internal/grid):
 //
@@ -61,6 +65,7 @@ import (
 func main() {
 	var (
 		exp        = flag.String("exp", "all", "experiment: all, table1, fig5, fig7, speed, fig11, fig12, fig13, or a panel id like fig11a")
+		scenario   = flag.String("scenario", "", "run a JSONL scenario file (sweep axes expand on the grid) instead of -exp")
 		quick      = flag.Bool("quick", false, "smoke-test effort (5 s per point instead of 30 s)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		reps       = flag.Int("reps", 0, "override independent replications per sweep point (0 = config default)")
@@ -139,7 +144,11 @@ func main() {
 		}()
 	}
 
-	err = run(ctx, strings.ToLower(*exp), rc)
+	if *scenario != "" {
+		err = runScenarioFile(ctx, *scenario, *reps, rc)
+	} else {
+		err = run(ctx, strings.ToLower(*exp), rc)
+	}
 	if rc.Server != nil {
 		// Answer 410 for a moment so polling workers drain and exit
 		// instead of waiting out their -max-idle against a vanished
@@ -155,6 +164,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "charisma-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+func runScenarioFile(ctx context.Context, path string, reps int, rc experiments.RunConfig) error {
+	pts, results, err := experiments.RunScenarioFile(ctx, path, reps, rc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stdout, "scenario file %s: %d sweep points\n", path, len(pts))
+	experiments.RenderScenarioResults(os.Stdout, pts, results)
+	return nil
 }
 
 func run(ctx context.Context, exp string, rc experiments.RunConfig) error {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"charisma"
+	"charisma/internal/experiments"
 	"charisma/internal/prof"
 	"charisma/internal/trace"
 )
@@ -40,6 +41,7 @@ func fatal(args ...any) {
 func main() {
 	var (
 		protocol   = flag.String("protocol", "charisma", "protocol: charisma, d-tdma/vr, d-tdma/fr, drma, rama, rmav")
+		scenario   = flag.String("scenario", "", "run a JSONL scenario file (sweep axes expand on the grid) instead of the flag-built cell")
 		all        = flag.Bool("all", false, "run all six protocols on the same cell")
 		voice      = flag.Int("voice", 50, "number of voice users (Nv)")
 		data       = flag.Int("data", 0, "number of data users (Nd)")
@@ -76,6 +78,32 @@ func main() {
 	// Long runs die cleanly on ^C / SIGTERM instead of mid-write.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *scenario != "" {
+		if *all || *cells >= 2 {
+			fatal("charisma-sim: -scenario carries its own protocols and cell counts; drop -all/-cells")
+		}
+		rc := experiments.RunConfig{
+			Seed:            *seed,
+			Workers:         *workers,
+			CacheDir:        *cacheDir,
+			PrecisionRel:    *prec,
+			MaxReplications: *maxReps,
+		}
+		// The flag default (1) means "use the file's counts"; an explicit
+		// -reps N overrides every point.
+		override := 0
+		if *reps > 1 {
+			override = *reps
+		}
+		pts, results, err := experiments.RunScenarioFile(ctx, *scenario, override, rc)
+		if err != nil {
+			fatal("charisma-sim:", err)
+		}
+		fmt.Printf("scenario file %s: %d sweep points\n", *scenario, len(pts))
+		experiments.RenderScenarioResults(os.Stdout, pts, results)
+		return
+	}
 
 	if *cells >= 2 {
 		if *all {

@@ -171,6 +171,24 @@ func goldenLines(t testing.TB) []string {
 		emitF(fmt.Sprintf("multicell/cell%d/ploss", c), per.VoiceLossRate)
 	}
 
+	// --- heavy mixed load: data queue saturates ---------------------------
+	// Nv=80 voice stations against Nd=30 data stations behind a tight
+	// 8-entry request queue push arrivals past the service rate: the queue
+	// fills and rejects, and the ARQ backlog carries frame to frame —
+	// saturation branches the lighter mixes above never reach. Appended
+	// after the original observations so the earlier golden lines keep
+	// their indices.
+	scHeavy := scenario(core.ProtoCharisma, true)
+	scHeavy.NumVoice, scHeavy.NumData = 80, 30
+	scHeavy.MAC.QueueCap = 8
+	rh, err := scHeavy.Run()
+	if err != nil {
+		t.Fatalf("charisma+heavy: %v", err)
+	}
+	emitResult("proto/charisma+heavy", rh)
+	emitU("proto/charisma+heavy/queueRejects", rh.QueueRejects)
+	emitF("proto/charisma+heavy/maxDelay", rh.MaxDataDelaySec)
+
 	return out
 }
 

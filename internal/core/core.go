@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"strings"
@@ -137,7 +138,11 @@ func DefaultScenario(protocol string) Scenario {
 	}
 }
 
-func (sc Scenario) withDefaults() Scenario {
+// WithDefaults returns the scenario with every zero-valued knob replaced
+// by its calibrated default — exactly the normalization Build and Run
+// apply before validating. External loaders (the grid's scenario files)
+// use it to validate a scenario as it will actually run.
+func (sc Scenario) WithDefaults() Scenario {
 	if sc.Channel == (channel.Params{}) {
 		sc.Channel = channel.DefaultParams()
 	}
@@ -157,28 +162,51 @@ func (sc Scenario) withDefaults() Scenario {
 	return sc
 }
 
-// Validate reports scenario configuration errors.
+// ValidationError is the typed rejection every Scenario.Validate path
+// returns: Field names the offending scenario field, Reason says why it
+// was rejected. Callers dispatch with errors.As instead of matching
+// message strings.
+type ValidationError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("core: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Validate reports scenario configuration errors. Every rejection is a
+// *ValidationError; substrate rejections (Channel/PHY/MAC) are wrapped
+// with the owning field name.
 func (sc Scenario) Validate() error {
-	if sc.NumVoice < 0 || sc.NumData < 0 {
-		return fmt.Errorf("core: negative station counts %d/%d", sc.NumVoice, sc.NumData)
+	if sc.NumVoice < 0 {
+		return &ValidationError{Field: "NumVoice", Reason: fmt.Sprintf("negative station count %d", sc.NumVoice)}
+	}
+	if sc.NumData < 0 {
+		return &ValidationError{Field: "NumData", Reason: fmt.Sprintf("negative station count %d", sc.NumData)}
 	}
 	if sc.NumVoice+sc.NumData == 0 {
-		return fmt.Errorf("core: no stations")
+		return &ValidationError{Field: "NumVoice+NumData", Reason: "empty traffic mix: no stations"}
 	}
 	if !KnownProtocol(sc.Protocol) {
-		return fmt.Errorf("core: unknown protocol %q", sc.Protocol)
+		return &ValidationError{Field: "Protocol", Reason: fmt.Sprintf("unknown protocol %q", sc.Protocol)}
 	}
 	if err := sc.Channel.Validate(); err != nil {
-		return err
+		return &ValidationError{Field: "Channel", Reason: err.Error()}
 	}
 	if err := sc.PHY.Validate(); err != nil {
-		return err
+		return &ValidationError{Field: "PHY", Reason: err.Error()}
 	}
 	if err := sc.MAC.Validate(); err != nil {
-		return err
+		return &ValidationError{Field: "MAC", Reason: err.Error()}
 	}
 	if n := sc.NumVoice + sc.NumData; len(sc.SpeedsKmh) > 0 && len(sc.SpeedsKmh) != n {
-		return fmt.Errorf("core: %d speeds for %d stations", len(sc.SpeedsKmh), n)
+		return &ValidationError{Field: "SpeedsKmh", Reason: fmt.Sprintf("%d speeds for %d stations", len(sc.SpeedsKmh), n)}
+	}
+	for i, v := range sc.SpeedsKmh {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return &ValidationError{Field: "SpeedsKmh", Reason: fmt.Sprintf("station %d speed %v", i, v)}
+		}
 	}
 	return nil
 }
@@ -350,7 +378,7 @@ func (sc Scenario) Build() (*mac.System, mac.Protocol, error) {
 // buildIn assembles the scenario's system and protocol into the arena,
 // reusing whatever the arena already holds.
 func (sc Scenario) buildIn(a *runArena) (*mac.System, mac.Protocol, error) {
-	sc = sc.withDefaults()
+	sc = sc.WithDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -447,7 +475,7 @@ func (sc Scenario) Run() (mac.Result, error) {
 }
 
 func (sc Scenario) runIn(a *runArena) (mac.Result, error) {
-	sc = sc.withDefaults()
+	sc = sc.WithDefaults()
 	sys, proto, err := sc.buildIn(a)
 	if err != nil {
 		return mac.Result{}, err

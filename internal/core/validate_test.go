@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestValidateRejections: every malformed scenario fails with a typed
+// *ValidationError naming the offending field, so loaders (the grid's
+// scenario files) can dispatch on the failure instead of string-matching.
+func TestValidateRejections(t *testing.T) {
+	// base is a valid defaulted scenario the cases perturb.
+	base := func() Scenario {
+		return DefaultScenario(ProtoCharisma).WithDefaults()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		field  string // expected ValidationError.Field
+		reason string // substring expected in ValidationError.Reason
+	}{
+		{
+			name:   "zero population",
+			mutate: func(sc *Scenario) { sc.NumVoice, sc.NumData = 0, 0 },
+			field:  "NumVoice+NumData",
+			reason: "empty traffic mix",
+		},
+		{
+			name:   "negative voice population",
+			mutate: func(sc *Scenario) { sc.NumVoice = -1 },
+			field:  "NumVoice",
+			reason: "negative station count",
+		},
+		{
+			name:   "negative data population",
+			mutate: func(sc *Scenario) { sc.NumData = -3 },
+			field:  "NumData",
+			reason: "negative station count",
+		},
+		{
+			name:   "unknown protocol",
+			mutate: func(sc *Scenario) { sc.Protocol = "aloha" },
+			field:  "Protocol",
+			reason: `unknown protocol "aloha"`,
+		},
+		{
+			name:   "speed vector length mismatch",
+			mutate: func(sc *Scenario) { sc.SpeedsKmh = []float64{50} },
+			field:  "SpeedsKmh",
+			reason: "1 speeds for",
+		},
+		{
+			name: "negative per-station speed",
+			mutate: func(sc *Scenario) {
+				sc.NumVoice, sc.NumData = 2, 0
+				sc.SpeedsKmh = []float64{50, -5}
+			},
+			field:  "SpeedsKmh",
+			reason: "station 1 speed -5",
+		},
+		{
+			name: "non-finite per-station speed",
+			mutate: func(sc *Scenario) {
+				sc.NumVoice, sc.NumData = 1, 1
+				sc.SpeedsKmh = []float64{50, math.NaN()}
+			},
+			field:  "SpeedsKmh",
+			reason: "station 1 speed",
+		},
+		{
+			name:   "invalid channel parameters",
+			mutate: func(sc *Scenario) { sc.Channel.SpeedKmh = -10 },
+			field:  "Channel",
+		},
+		{
+			name:   "invalid PHY parameters",
+			mutate: func(sc *Scenario) { sc.PHY.Etas = sc.PHY.Etas[:len(sc.PHY.Etas)-1] },
+			field:  "PHY",
+		},
+		{
+			name:   "invalid MAC geometry",
+			mutate: func(sc *Scenario) { sc.MAC.Geometry.MinislotSymbols = -1 },
+			field:  "MAC",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted the malformed scenario")
+			}
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("error %T is not a *ValidationError: %v", err, err)
+			}
+			if verr.Field != tc.field {
+				t.Fatalf("Field = %q, want %q (err: %v)", verr.Field, tc.field, err)
+			}
+			if tc.reason != "" && !strings.Contains(verr.Reason, tc.reason) {
+				t.Fatalf("Reason %q does not mention %q", verr.Reason, tc.reason)
+			}
+			if !strings.Contains(err.Error(), verr.Field) {
+				t.Fatalf("Error() %q does not name the field", err)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsDefaults: the calibrated defaults and the
+// zero-knob-defaulted scenario both validate for every protocol.
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, p := range Protocols() {
+		if err := DefaultScenario(p).Validate(); err != nil {
+			t.Errorf("DefaultScenario(%s): %v", p, err)
+		}
+		sparse := Scenario{Protocol: p, NumVoice: 10}
+		if err := sparse.WithDefaults().Validate(); err != nil {
+			t.Errorf("sparse %s scenario after WithDefaults: %v", p, err)
+		}
+	}
+}

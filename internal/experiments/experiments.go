@@ -155,20 +155,7 @@ func (rc RunConfig) runScenarios(ctx context.Context, scs []core.Scenario) ([]ma
 	for i, sc := range scs {
 		points[i] = grid.Point{Spec: grid.ScenarioSpec(sc), Replications: rc.replications()}
 	}
-	cache := rc.Cache
-	if cache == nil {
-		cache = grid.NewCache(rc.CacheDir)
-	}
-	return grid.RunPoints(ctx, points, grid.DriveConfig{
-		Cache:      cache,
-		Precision:  grid.Precision{TargetRel: rc.PrecisionRel, MaxReps: rc.MaxReplications},
-		Workers:    rc.Workers,
-		Server:     rc.Server,
-		RemoteOnly: rc.RemoteOnly,
-		Audit:      grid.Audit{Frac: rc.AuditFrac, Seed: rc.Seed},
-		Stats:      rc.Stats,
-		OnProgress: rc.OnProgress,
-	})
+	return rc.runPoints(ctx, points)
 }
 
 // sweep runs (protocols × xs × replications) cells as one grid session and

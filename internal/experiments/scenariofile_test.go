@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"charisma/internal/core"
+	"charisma/internal/grid"
+	"charisma/internal/mac"
+)
+
+// panelConfig is the reduced fig11a-style effort the byte-identity tests
+// share: two protocols, two sweep points, two replications.
+func panelConfig() (RunConfig, []int) {
+	rc := RunConfig{
+		Seed:         3,
+		WarmupSec:    0.25,
+		DurationSec:  1,
+		Replications: 2,
+		Protocols:    []string{core.ProtoCharisma, core.ProtoRAMA},
+	}
+	return rc, []int{20, 40}
+}
+
+// panelPoints builds the Go-coded sweep points exactly the way sweep()
+// does for a Fig. 11 panel: protocol-major, Nv-minor, DefaultScenario
+// base with the config's seed and measurement window.
+func panelPoints(rc RunConfig, nvs []int) []grid.Point {
+	var pts []grid.Point
+	for _, p := range rc.Protocols {
+		for _, nv := range nvs {
+			sc := core.DefaultScenario(p)
+			sc.NumVoice, sc.NumData = nv, 0
+			sc.UseQueue = false
+			sc.Seed = rc.Seed
+			sc.WarmupSec, sc.DurationSec = rc.WarmupSec, rc.DurationSec
+			pts = append(pts, grid.Point{Spec: grid.ScenarioSpec(sc), Replications: rc.Replications})
+		}
+	}
+	return pts
+}
+
+// panelJSONL is the same sweep as a hand-written scenario file: one line
+// per protocol with a numVoice sweep axis, relying on the loader's
+// defaulting to reconstruct DefaultScenario's channel/PHY/MAC parameters.
+const panelJSONL = `# fig11a-style panel: Ploss vs Nv, Nd=0, no queue
+{"scenario": {"protocol": "charisma", "numVoice": {"sweep": [20, 40]}, "numData": 0, "seed": 3, "warmupSec": 0.25, "durationSec": 1}, "replications": 2}
+{"scenario": {"protocol": "rama", "numVoice": {"sweep": [20, 40]}, "numData": 0, "seed": 3, "warmupSec": 0.25, "durationSec": 1}, "replications": 2}
+`
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// assertSameResults asserts two result slices are byte-identical under
+// the canonical JSON encoding, reporting the first diverging point.
+func assertSameResults(t *testing.T, label string, want, got []mac.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		w, g := mustJSON(t, want[i]), mustJSON(t, got[i])
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: point %d diverged:\nwant %s\ngot  %s", label, i, w, g)
+		}
+	}
+}
+
+// TestScenarioFileMatchesGoCodedPanel is the tentpole's acceptance
+// criterion: a figure-panel sweep expressed as a .jsonl file produces
+// byte-identical results to the equivalent Go-coded panel — both for a
+// hand-written file (sweep axes + loader defaulting) and for a file
+// round-tripped through WriteScenarioFile.
+func TestScenarioFileMatchesGoCodedPanel(t *testing.T) {
+	ctx := context.Background()
+	rc, nvs := panelConfig()
+	goPoints := panelPoints(rc, nvs)
+	want, err := rc.runPoints(ctx, goPoints)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+
+	// Hand-written sweep file: sparse documents, loader defaults fill in
+	// the rest. Spec hashes differ from the Go-coded points (the sparse
+	// scenario hashes before defaulting) but the sample paths must not.
+	hand := filepath.Join(dir, "hand.jsonl")
+	if err := os.WriteFile(hand, []byte(panelJSONL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, got, err := RunScenarioFile(ctx, hand, 0, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(goPoints) {
+		t.Fatalf("hand-written file expanded to %d points, want %d", len(pts), len(goPoints))
+	}
+	assertSameResults(t, "hand-written file", want, got)
+
+	// WriteScenarioFile round trip: the file carries the full specs, so
+	// even the content hashes must survive.
+	var buf bytes.Buffer
+	if err := grid.WriteScenarioFile(&buf, goPoints); err != nil {
+		t.Fatal(err)
+	}
+	gen := filepath.Join(dir, "gen.jsonl")
+	if err := os.WriteFile(gen, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts2, got2, err := RunScenarioFile(ctx, gen, 0, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range goPoints {
+		wh, err := goPoints[i].Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gh, err := pts2[i].Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wh != gh {
+			t.Fatalf("round-tripped point %d hash %s, want %s", i, gh, wh)
+		}
+	}
+	assertSameResults(t, "WriteScenarioFile round trip", want, got2)
+}
+
+// TestScenarioFileMatchesOverHTTPGrid runs the same hand-written panel
+// file remote-only through a real grid.Server and a real grid.Worker over
+// HTTP, and asserts the results are byte-identical to the in-process run
+// — the scenario-file path composes with the distributed grid.
+func TestScenarioFileMatchesOverHTTPGrid(t *testing.T) {
+	ctx := context.Background()
+	rc, nvs := panelConfig()
+	want, err := rc.runPoints(ctx, panelPoints(rc, nvs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "panel.jsonl")
+	if err := os.WriteFile(path, []byte(panelJSONL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := grid.NewServer()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	workerDone := make(chan error, 1)
+	go func() {
+		w := grid.Worker{Coordinator: hs.URL, ID: "scenario-test", Parallel: 2, Poll: 5 * time.Millisecond}
+		workerDone <- w.Run(context.Background())
+	}()
+
+	rc.Server = srv
+	rc.RemoteOnly = true
+	_, got, err := RunScenarioFile(ctx, path, 0, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // 410s the worker out of its poll loop
+	if err := <-workerDone; err != nil {
+		t.Fatalf("grid worker: %v", err)
+	}
+	assertSameResults(t, "HTTP grid", want, got)
+}

@@ -1,0 +1,383 @@
+package grid
+
+// Scenario files make sweeps data. A file is JSONL: one JSON document per
+// line, each shaped like a JobSpec plus an optional Replications count.
+// Blank lines and lines starting with '#' are skipped. Field names match
+// Go's case-insensitive JSON rules, so files may use lowerCamel keys.
+//
+// Anywhere a scalar is expected, a document may instead carry an *axis*:
+//
+//	{"sweep": [5, 30, 60]}
+//	{"range": {"from": 20, "to": 140, "step": 20}}
+//
+// Loading expands each line into the cross product of its axes — axes are
+// ordered by their JSON path (lexicographic), the last axis varying
+// fastest — so a whole figure panel is one line. Every expanded document
+// is strict-decoded (unknown fields rejected), shape-checked, and
+// semantically validated as it will run (payload defaults applied first),
+// producing []Point ready for RunPoints: scenario files ride the
+// content-addressed cache and the distributed grid unchanged.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"charisma/internal/core"
+	"charisma/internal/multicell"
+)
+
+// Expansion guardrails: a scenario file is user (and fuzzer) input, so
+// the cross product is bounded before any spec is built.
+const (
+	// MaxAxesPerLine bounds one document's grid dimensionality.
+	MaxAxesPerLine = 16
+	// MaxSpecsPerLine bounds one document's cross-product size.
+	MaxSpecsPerLine = 4096
+	// MaxSpecsPerFile bounds a whole file's expansion.
+	MaxSpecsPerFile = 65536
+	// maxScenarioLine bounds one JSONL line's byte length.
+	maxScenarioLine = 1 << 20
+)
+
+// scenarioDoc is the per-line schema: a JobSpec plus the sweep-level
+// replication count.
+type scenarioDoc struct {
+	Kind         string            `json:",omitempty"`
+	Scenario     *core.Scenario    `json:",omitempty"`
+	Multicell    *multicell.Params `json:",omitempty"`
+	Replications int               `json:",omitempty"`
+}
+
+// LoadScenarioPath loads and expands the scenario file at path.
+func LoadScenarioPath(path string) ([]Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("grid: scenario file: %w", err)
+	}
+	defer f.Close()
+	return LoadScenarioFile(f)
+}
+
+// LoadScenarioFile parses a JSONL scenario stream and expands every line
+// into its cross product of sweep points.
+func LoadScenarioFile(r io.Reader) ([]Point, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxScenarioLine)
+	var pts []Point
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		ex, err := ExpandScenarioLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("grid: scenario file line %d: %w", lineNo, err)
+		}
+		if len(pts)+len(ex) > MaxSpecsPerFile {
+			return nil, fmt.Errorf("grid: scenario file line %d: expansion exceeds %d specs", lineNo, MaxSpecsPerFile)
+		}
+		pts = append(pts, ex...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("grid: scenario file: %w", err)
+	}
+	if len(pts) == 0 {
+		return nil, errors.New("grid: scenario file: no scenarios")
+	}
+	return pts, nil
+}
+
+// ExpandScenarioLine expands one scenario document into the cross product
+// of its axes. A document without axes yields exactly one point.
+func ExpandScenarioLine(line []byte) ([]Point, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.UseNumber() // numeric literals survive substitution verbatim
+	var doc any
+	if err := dec.Decode(&doc); err != nil {
+		return nil, err
+	}
+	if dec.More() {
+		return nil, errors.New("trailing data after document")
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		return nil, errors.New("document is not a JSON object")
+	}
+
+	axes, err := collectAxes(root)
+	if err != nil {
+		return nil, err
+	}
+	total := 1
+	for _, ax := range axes {
+		if total > MaxSpecsPerLine/len(ax.values) {
+			return nil, fmt.Errorf("cross product exceeds %d specs", MaxSpecsPerLine)
+		}
+		total *= len(ax.values)
+	}
+
+	pts := make([]Point, 0, total)
+	idx := make([]int, len(axes))
+	for {
+		for i, ax := range axes {
+			ax.set(ax.values[idx[i]])
+		}
+		pt, err := decodeDoc(root)
+		if err != nil {
+			if len(axes) > 0 {
+				return nil, fmt.Errorf("%s: %w", assignment(axes, idx), err)
+			}
+			return nil, err
+		}
+		pts = append(pts, pt)
+		// Odometer: last axis fastest.
+		k := len(axes) - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(axes[k].values) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	return pts, nil
+}
+
+// assignment renders one axis combination for error messages.
+func assignment(axes []axis, idx []int) string {
+	var b strings.Builder
+	for i, ax := range axes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%v", ax.path, ax.values[idx[i]])
+	}
+	return b.String()
+}
+
+// axis is one expansion dimension: the values it takes and a setter that
+// substitutes a value into the parsed document.
+type axis struct {
+	path   string
+	values []any
+	set    func(v any)
+}
+
+// collectAxes walks the document and returns its axes sorted by path, so
+// expansion order is independent of map iteration order.
+func collectAxes(root map[string]any) ([]axis, error) {
+	var axes []axis
+	var walk func(path string, node any, set func(any)) error
+	walk = func(path string, node any, set func(any)) error {
+		switch n := node.(type) {
+		case map[string]any:
+			vals, isAxis, err := axisValues(path, n)
+			if err != nil {
+				return err
+			}
+			if isAxis {
+				if set == nil {
+					return fmt.Errorf("axis %s: document root cannot be an axis", path)
+				}
+				axes = append(axes, axis{path: path, values: vals, set: set})
+				return nil
+			}
+			for k, v := range n {
+				k := k
+				sub := k
+				if path != "" {
+					sub = path + "." + k
+				}
+				if err := walk(sub, v, func(x any) { n[k] = x }); err != nil {
+					return err
+				}
+			}
+		case []any:
+			for i, v := range n {
+				i := i
+				if err := walk(fmt.Sprintf("%s[%d]", path, i), v, func(x any) { n[i] = x }); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := walk("", root, nil); err != nil {
+		return nil, err
+	}
+	if len(axes) > MaxAxesPerLine {
+		return nil, fmt.Errorf("%d axes exceed the %d-axis limit", len(axes), MaxAxesPerLine)
+	}
+	sort.Slice(axes, func(i, j int) bool { return axes[i].path < axes[j].path })
+	return axes, nil
+}
+
+// axisValues recognizes an axis object: a single-key map whose key is
+// "sweep" (explicit value list) or "range" (arithmetic progression).
+func axisValues(path string, m map[string]any) ([]any, bool, error) {
+	if len(m) != 1 {
+		return nil, false, nil
+	}
+	var key string
+	var val any
+	for k, v := range m {
+		key, val = k, v
+	}
+	switch strings.ToLower(key) {
+	case "sweep":
+		arr, ok := val.([]any)
+		if !ok || len(arr) == 0 {
+			return nil, false, fmt.Errorf("axis %s: sweep wants a non-empty array", path)
+		}
+		return arr, true, nil
+	case "range":
+		spec, ok := val.(map[string]any)
+		if !ok {
+			return nil, false, fmt.Errorf("axis %s: range wants an object with from/to/step", path)
+		}
+		vals, err := rangeValues(spec)
+		if err != nil {
+			return nil, false, fmt.Errorf("axis %s: %w", path, err)
+		}
+		return vals, true, nil
+	}
+	return nil, false, nil
+}
+
+// rangeValues expands {"from": a, "to": b, "step": s} into the inclusive
+// progression a, a+s, ..., ≤ b.
+func rangeValues(spec map[string]any) ([]any, error) {
+	var from, to, step float64
+	var haveFrom, haveTo, haveStep bool
+	for k, v := range spec {
+		num, ok := v.(json.Number)
+		if !ok {
+			return nil, fmt.Errorf("range field %s: want a number", k)
+		}
+		x, err := num.Float64()
+		if err != nil {
+			return nil, fmt.Errorf("range field %s: %w", k, err)
+		}
+		switch strings.ToLower(k) {
+		case "from":
+			from, haveFrom = x, true
+		case "to":
+			to, haveTo = x, true
+		case "step":
+			step, haveStep = x, true
+		default:
+			return nil, fmt.Errorf("unknown range field %q", k)
+		}
+	}
+	if !haveFrom || !haveTo || !haveStep {
+		return nil, errors.New("range wants from, to and step")
+	}
+	if step <= 0 || math.IsNaN(step) || math.IsInf(step, 0) ||
+		math.IsNaN(from) || math.IsInf(from, 0) || math.IsNaN(to) || math.IsInf(to, 0) {
+		return nil, fmt.Errorf("bad range [%v, %v] step %v", from, to, step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("empty range [%v, %v]", from, to)
+	}
+	q := (to - from) / step
+	if q > MaxSpecsPerLine { // before int conversion: q may exceed int64
+		return nil, fmt.Errorf("range yields over %d values (limit %d)", MaxSpecsPerLine, MaxSpecsPerLine)
+	}
+	// A small tolerance keeps binary-float endpoints (0.3 after three
+	// 0.1 steps) in the progression without admitting a real overshoot.
+	n := int(math.Floor(q + 1e-9))
+	vals := make([]any, 0, n+1)
+	for i := 0; i <= n; i++ {
+		v := from + float64(i)*step
+		// Render as a JSON literal so integral values stay integral.
+		vals = append(vals, json.Number(strconv.FormatFloat(v, 'g', -1, 64)))
+	}
+	return vals, nil
+}
+
+// decodeDoc strict-decodes one fully-substituted document into a sweep
+// point, inferring Kind from the payload when absent, and validates the
+// spec both structurally and as it will run (defaults applied first —
+// exactly RunRep's execution path).
+func decodeDoc(root map[string]any) (Point, error) {
+	b, err := json.Marshal(root)
+	if err != nil {
+		return Point{}, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var d scenarioDoc
+	if err := dec.Decode(&d); err != nil {
+		return Point{}, err
+	}
+	if d.Replications < 0 {
+		return Point{}, fmt.Errorf("negative Replications %d", d.Replications)
+	}
+	spec := JobSpec{Kind: d.Kind, Scenario: d.Scenario, Multicell: d.Multicell}
+	if spec.Kind == "" {
+		switch {
+		case d.Scenario != nil && d.Multicell == nil:
+			spec.Kind = KindScenario
+		case d.Multicell != nil && d.Scenario == nil:
+			spec.Kind = KindMulticell
+		default:
+			return Point{}, errors.New("cannot infer Kind: document needs exactly one of Scenario or Multicell")
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return Point{}, err
+	}
+	switch spec.Kind {
+	case KindScenario:
+		if err := spec.Scenario.WithDefaults().Validate(); err != nil {
+			return Point{}, err
+		}
+	case KindMulticell:
+		if err := spec.Multicell.WithDefaults().Validate(); err != nil {
+			return Point{}, err
+		}
+	}
+	reps := d.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	return Point{Spec: spec, Replications: reps}, nil
+}
+
+// WriteScenarioFile renders points as a JSONL scenario file, one document
+// per point, loadable by LoadScenarioFile. Documents carry the canonical
+// field order, and a write→load round trip preserves every spec's content
+// hash (the payload values travel verbatim).
+func WriteScenarioFile(w io.Writer, pts []Point) error {
+	bw := bufio.NewWriter(w)
+	for i, p := range pts {
+		if err := p.Spec.Validate(); err != nil {
+			return fmt.Errorf("grid: scenario file point %d: %w", i, err)
+		}
+		d := scenarioDoc{Kind: p.Spec.Kind, Scenario: p.Spec.Scenario, Multicell: p.Spec.Multicell}
+		if p.Replications > 1 {
+			d.Replications = p.Replications
+		}
+		b, err := json.Marshal(d)
+		if err != nil {
+			return fmt.Errorf("grid: scenario file point %d: %w", i, err)
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,208 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"charisma/internal/core"
+	"charisma/internal/multicell"
+)
+
+func TestLoadScenarioFileSingle(t *testing.T) {
+	const file = `
+# a comment, then a blank line
+
+{"scenario": {"protocol": "charisma", "numVoice": 30, "numData": 5, "seed": 7, "warmupSec": 0.25, "durationSec": 1}, "replications": 3}
+`
+	pts, err := LoadScenarioFile(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("got %d points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Replications != 3 {
+		t.Errorf("replications = %d, want 3", p.Replications)
+	}
+	if p.Spec.Kind != KindScenario {
+		t.Errorf("kind = %q (not inferred)", p.Spec.Kind)
+	}
+	sc := p.Spec.Scenario
+	if sc.Protocol != "charisma" || sc.NumVoice != 30 || sc.NumData != 5 || sc.Seed != 7 {
+		t.Errorf("scenario fields mangled: %+v", sc)
+	}
+}
+
+func TestLoadScenarioFileSweepExpansion(t *testing.T) {
+	const file = `{"scenario": {"protocol": {"sweep": ["charisma", "rama"]}, "numVoice": {"range": {"from": 20, "to": 60, "step": 20}}, "durationSec": 1}}`
+	pts, err := LoadScenarioFile(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 protocols × 3 populations; axes order by path, so
+	// scenario.numVoice comes first and scenario.protocol varies fastest.
+	want := []struct {
+		proto string
+		nv    int
+	}{
+		{"charisma", 20}, {"rama", 20},
+		{"charisma", 40}, {"rama", 40},
+		{"charisma", 60}, {"rama", 60},
+	}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i, w := range want {
+		sc := pts[i].Spec.Scenario
+		if sc.Protocol != w.proto || sc.NumVoice != w.nv {
+			t.Errorf("point %d: (%s, %d), want (%s, %d)", i, sc.Protocol, sc.NumVoice, w.proto, w.nv)
+		}
+	}
+}
+
+func TestLoadScenarioFileMulticell(t *testing.T) {
+	const file = `{"multicell": {"cells": {"sweep": [2, 3]}, "protocol": "charisma", "numVoice": 10, "decisionPeriodFrames": 40, "durationSec": 1}}`
+	pts, err := LoadScenarioFile(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for i, cells := range []int{2, 3} {
+		if pts[i].Spec.Kind != KindMulticell || pts[i].Spec.Multicell.Cells != cells {
+			t.Errorf("point %d: kind %q cells %d", i, pts[i].Spec.Kind, pts[i].Spec.Multicell.Cells)
+		}
+	}
+}
+
+func TestLoadScenarioFileRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+	}{
+		{"empty", ""},
+		{"comment only", "# nothing\n"},
+		{"not an object", `[1,2,3]`},
+		{"unknown field", `{"scenario": {"protocol": "charisma", "numVoice": 1, "bogus": 2}}`},
+		{"both payloads", `{"scenario": {"protocol": "charisma", "numVoice": 1}, "multicell": {"cells": 2, "protocol": "charisma", "numVoice": 1, "decisionPeriodFrames": 1}}`},
+		{"no payload", `{"replications": 2}`},
+		{"kind mismatch", `{"kind": "multicell", "scenario": {"protocol": "charisma", "numVoice": 1}}`},
+		{"unknown protocol", `{"scenario": {"protocol": "aloha", "numVoice": 1}}`},
+		{"zero population", `{"scenario": {"protocol": "charisma"}}`},
+		{"negative replications", `{"scenario": {"protocol": "charisma", "numVoice": 1}, "replications": -1}`},
+		{"empty sweep", `{"scenario": {"protocol": "charisma", "numVoice": {"sweep": []}}}`},
+		{"descending range", `{"scenario": {"protocol": "charisma", "numVoice": {"range": {"from": 10, "to": 5, "step": 1}}}}`},
+		{"zero-step range", `{"scenario": {"protocol": "charisma", "numVoice": {"range": {"from": 1, "to": 5, "step": 0}}}}`},
+		{"trailing data", `{"scenario": {"protocol": "charisma", "numVoice": 1}} extra`},
+		{"oversized product", `{"scenario": {"protocol": "charisma", "numVoice": {"range": {"from": 1, "to": 100, "step": 1}}, "numData": {"range": {"from": 1, "to": 100, "step": 1}}}}`},
+		{"rmav multicell", `{"multicell": {"cells": 2, "protocol": "rmav", "numVoice": 1, "decisionPeriodFrames": 1}}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadScenarioFile(strings.NewReader(c.file)); err == nil {
+				t.Fatalf("loaded %q without error", c.file)
+			}
+		})
+	}
+}
+
+func TestScenarioFileDefaultsValidated(t *testing.T) {
+	// The raw payload is zero-valued almost everywhere — invalid as-is —
+	// but the loader validates the *defaulted* scenario, which runs fine.
+	const file = `{"scenario": {"protocol": "drma", "numData": 3}}`
+	pts, err := LoadScenarioFile(strings.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pts[0].Spec.Scenario.Validate(); err == nil {
+		t.Fatal("raw zero-valued payload unexpectedly valid (defaults leaked into the spec?)")
+	}
+}
+
+func TestWriteScenarioFileRoundTrip(t *testing.T) {
+	sc := core.DefaultScenario(core.ProtoCharisma)
+	sc.NumVoice, sc.NumData = 40, 10
+	sc.WarmupSec, sc.DurationSec = 0.25, 1.5
+	sc.SpeedsKmh = nil
+	mp := multicell.DefaultParams()
+	mp.NumVoice, mp.DurationSec = 12, 0.5
+	in := []Point{
+		{Spec: ScenarioSpec(sc), Replications: 4},
+		{Spec: MulticellSpec(mp), Replications: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteScenarioFile(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadScenarioFile(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reloading written file: %v\n%s", err, buf.String())
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d points, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].Replications != in[i].Replications {
+			t.Errorf("point %d: replications %d, want %d", i, out[i].Replications, in[i].Replications)
+		}
+		hin, err := in[i].Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hout, err := out[i].Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hin != hout {
+			t.Errorf("point %d: content hash drifted across write→load: %s != %s", i, hin, hout)
+		}
+	}
+}
+
+// FuzzScenarioFile extends the PR 3 codec fuzz family to the JSONL
+// loader: arbitrary bytes must never panic, and every successfully loaded
+// file must round-trip each expanded spec through the canonical codec to
+// the same content hash.
+func FuzzScenarioFile(f *testing.F) {
+	f.Add([]byte(`{"scenario": {"protocol": "charisma", "numVoice": 30, "numData": 5}}`))
+	f.Add([]byte(`{"scenario": {"protocol": {"sweep": ["charisma", "rama"]}, "numVoice": {"range": {"from": 20, "to": 60, "step": 20}}}, "replications": 2}`))
+	f.Add([]byte(`{"multicell": {"cells": 2, "protocol": "drma", "numVoice": 8, "decisionPeriodFrames": 40}}`))
+	f.Add([]byte("# comment\n\n{\"kind\": \"scenario\", \"scenario\": {\"protocol\": \"rmav\", \"numVoice\": 1, \"speedsKmh\": [50]}}"))
+	f.Add([]byte(`{"scenario": {"protocol": "charisma", "numVoice": {"sweep": [1, 2]}, "channel": {"speedKmh": {"range": {"from": 10, "to": 30, "step": 10}}}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, err := LoadScenarioFile(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(pts) == 0 {
+			t.Fatal("nil error with zero points")
+		}
+		for i, p := range pts {
+			if p.Replications < 1 {
+				t.Fatalf("point %d: replications %d", i, p.Replications)
+			}
+			enc, err := p.Spec.Encode()
+			if err != nil {
+				t.Fatalf("point %d: loaded spec does not encode: %v", i, err)
+			}
+			rt, err := DecodeSpec(enc)
+			if err != nil {
+				t.Fatalf("point %d: canonical encoding does not decode: %v", i, err)
+			}
+			h1, err := p.Spec.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := rt.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h1 != h2 {
+				t.Fatalf("point %d: hash drifted through codec round trip: %s != %s", i, h1, h2)
+			}
+		}
+	})
+}

@@ -29,6 +29,7 @@ func AggregateReplications(rs []Result) Result {
 	agg := Result{Protocol: rs[0].Protocol}
 	var loss, thru, delay stats.MeanVar
 	var delaySum, utilSum float64
+	minSet := false
 	for _, r := range rs {
 		agg.Frames += r.Frames
 		agg.VoiceGenerated += r.VoiceGenerated
@@ -45,6 +46,12 @@ func AggregateReplications(rs []Result) Result {
 		agg.QueueRejects += r.QueueRejects
 		if r.MaxDataDelaySec > agg.MaxDataDelaySec {
 			agg.MaxDataDelaySec = r.MaxDataDelaySec
+		}
+		// The pooled minimum only considers replications that delivered
+		// data: an idle replication's zero is absence, not a delay.
+		if r.DataDelivered > 0 && (!minSet || r.MinDataDelaySec < agg.MinDataDelaySec) {
+			agg.MinDataDelaySec = r.MinDataDelaySec
+			minSet = true
 		}
 		delaySum += r.MeanDataDelaySec * float64(r.DataDelivered)
 		utilSum += r.InfoUtilization * r.Frames

@@ -96,6 +96,9 @@ type Result struct {
 	// DataDelayCI95 is the 95% confidence half-width of the mean delay.
 	DataDelayCI95   float64
 	MaxDataDelaySec float64
+	// MinDataDelaySec is the smallest observed data delay in the window
+	// (0 when no data packet was delivered).
+	MinDataDelaySec float64
 
 	ReqAttempts     uint64
 	ReqCollisions   uint64
@@ -160,6 +163,7 @@ func (m *Metrics) Result(protocol string, frameSymbols int) Result {
 	r.MeanDataDelaySec = m.delay.Mean()
 	r.DataDelayCI95 = m.delay.CI95()
 	r.MaxDataDelaySec = m.delay.Max()
+	r.MinDataDelaySec = m.delay.Min()
 	r.CollisionRate = stats.Ratio(r.ReqCollisions, r.ReqCollisions+r.ReqSuccesses)
 	r.InfoUtilization = stats.Ratio(m.InfoSymbolsUsed.Since(), m.InfoSymbolsTotal.Since())
 	return r

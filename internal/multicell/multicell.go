@@ -89,6 +89,31 @@ func DefaultParams() Params {
 	}
 }
 
+// WithDefaults returns the params with zero-valued substrate knobs
+// replaced by the calibrated defaults, mirroring core.Scenario: it is the
+// normalization New applies before validating, exposed so external
+// loaders (the grid's scenario files) can validate a deployment as it
+// will actually run.
+func (p Params) WithDefaults() Params {
+	if p.Channel == (channel.Params{}) {
+		p.Channel = channel.DefaultParams()
+	}
+	if len(p.PHY.Etas) == 0 {
+		p.PHY = phy.DefaultParams()
+	}
+	if p.MAC.Geometry.FrameSymbols == 0 {
+		p.MAC = mac.DefaultConfig()
+	}
+	p.MAC.UseQueue = p.UseQueue
+	if p.WarmupSec <= 0 {
+		p.WarmupSec = 2
+	}
+	if p.DurationSec <= 0 {
+		p.DurationSec = 20
+	}
+	return p
+}
+
 // Validate reports configuration errors.
 func (p Params) Validate() error {
 	if p.Cells < 2 {
@@ -145,10 +170,7 @@ type Deployment struct {
 
 // New assembles a deployment.
 func New(p Params) (*Deployment, error) {
-	if p.MAC.Geometry.FrameSymbols == 0 {
-		p.MAC = mac.DefaultConfig()
-	}
-	p.MAC.UseQueue = p.UseQueue
+	p = p.WithDefaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -321,9 +343,18 @@ func (d *Deployment) Run() (Result, error) {
 	agg.Protocol = d.p.Protocol
 	agg.Handoffs = d.handoffs
 	var delaySum float64
+	minSet := false
 	for _, sys := range d.systems {
 		r := sys.M.Result(d.p.Protocol, d.p.MAC.Geometry.FrameSymbols)
 		agg.PerCell = append(agg.PerCell, r)
+		if r.MaxDataDelaySec > agg.MaxDataDelaySec {
+			agg.MaxDataDelaySec = r.MaxDataDelaySec
+		}
+		// Only cells that delivered data carry a meaningful minimum.
+		if r.DataDelivered > 0 && (!minSet || r.MinDataDelaySec < agg.MinDataDelaySec) {
+			agg.MinDataDelaySec = r.MinDataDelaySec
+			minSet = true
+		}
 		agg.Frames += r.Frames
 		agg.VoiceGenerated += r.VoiceGenerated
 		agg.VoiceDropped += r.VoiceDropped

@@ -109,6 +109,10 @@ func DeriveIndexed(base int64, label string, idx ...int) *Stream {
 // Float64 returns a uniform sample in [0,1).
 func (s *Stream) Float64() float64 { return s.r.Float64() }
 
+// Int63 returns a uniform sample in [0, 1<<63). Scenario generation uses
+// it to draw child scenario seeds.
+func (s *Stream) Int63() int64 { return s.r.Int63() }
+
 // IntN returns a uniform sample in [0,n). n must be positive.
 func (s *Stream) IntN(n int) int { return s.r.Intn(n) }
 
